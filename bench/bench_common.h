@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file bench_common.h
+/// Shared plumbing for the paper-reproduction benchmarks. Every bench
+/// binary regenerates one table or figure of the paper's Section 6; the
+/// google-benchmark rows are the figure's series points and the counters
+/// carry the derived quantities the paper plots (s/point, ms/step,
+/// speedup, basis counts).
+///
+/// Sizes are scaled relative to the paper's 2.4 GHz Core2 Duo + Ruby
+/// setup so each binary finishes in about a minute; the *ratios* are what
+/// the reproduction checks. Set JIGSAW_BENCH_FULL=1 to run the paper's
+/// full parameter-space sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "core/run_config.h"
+
+namespace jigsaw::bench {
+
+inline bool FullScale() {
+  const char* env = std::getenv("JIGSAW_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The paper's experimental setup (Section 6): 1000 sample instances per
+/// point, fingerprint size 10.
+inline RunConfig PaperConfig() {
+  RunConfig cfg;
+  cfg.num_samples = 1000;
+  cfg.fingerprint_size = 10;
+  return cfg;
+}
+
+}  // namespace jigsaw::bench

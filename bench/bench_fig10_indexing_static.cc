@@ -1,0 +1,88 @@
+// Figure 10: "Indexing in a static parameter space" — computation time of
+// each index strategy relative to a naive Array scan, as the number of
+// basis distributions grows.
+//
+// Paper result: past ~50 bases the Array scan's candidate tests dominate;
+// Normalization and Sorted SID replace the scan with one hash lookup and
+// asymptotically approach a ~10% total-time reduction (sample generation
+// dominating the rest), with Sorted SID slightly ahead of Normalization.
+//
+// Setup mirrors the paper: SynthBasis black boxes engineered to produce
+// an exact basis count, expectation computed for 1000 parameter combos.
+// Counters: s_per_point, bases, candidates_tested (index selectivity).
+
+#include "bench_common.h"
+
+#include "util/timer.h"
+
+#include "core/sim_runner.h"
+#include "models/cloud_models.h"
+
+namespace {
+
+using namespace jigsaw;
+using bench::FullScale;
+using bench::PaperConfig;
+
+void IndexBench(benchmark::State& state, IndexKind index) {
+  const int num_basis = static_cast<int>(state.range(0));
+  CloudModelConfig mcfg;
+  mcfg.synth_num_basis = num_basis;
+  BlackBoxSimFunction fn(MakeSynthBasisModel(mcfg));
+
+  ParameterSpace space;
+  const double points = FullScale() ? 999 : 999;  // paper: 1000 combos
+  (void)space.Add({"point", RangeDomain{0, points, 1}});
+
+  RunConfig cfg = PaperConfig();
+  cfg.index_kind = index;
+  std::uint64_t candidates = 0;
+  std::size_t bases = 0;
+  for (auto _ : state) {
+    SimulationRunner runner(cfg);
+    WallTimer timer;
+    runner.RunSweep(fn, space);
+    state.SetIterationTime(timer.ElapsedSeconds());
+    candidates = runner.basis_store().stats().candidates_tested;
+    bases = runner.basis_store().size();
+  }
+  state.counters["s_per_point"] = benchmark::Counter(
+      (points + 1) , benchmark::Counter::kIsIterationInvariantRate |
+                         benchmark::Counter::kInvert);
+  state.counters["bases"] = static_cast<double>(bases);
+  state.counters["candidates_tested"] = static_cast<double>(candidates);
+}
+
+void BM_Index_Array(benchmark::State& state) {
+  IndexBench(state, IndexKind::kArray);
+}
+void BM_Index_Normalization(benchmark::State& state) {
+  IndexBench(state, IndexKind::kNormalization);
+}
+void BM_Index_SortedSID(benchmark::State& state) {
+  IndexBench(state, IndexKind::kSortedSid);
+}
+
+const std::vector<std::int64_t> kBasisCounts = {10, 25, 50, 100, 200, 500};
+
+void Register() {
+  for (auto b : kBasisCounts) {
+    benchmark::RegisterBenchmark("BM_Index_Array", BM_Index_Array)
+        ->Arg(b)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+    benchmark::RegisterBenchmark("BM_Index_Normalization",
+                                 BM_Index_Normalization)
+        ->Arg(b)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+    benchmark::RegisterBenchmark("BM_Index_SortedSID", BM_Index_SortedSID)
+        ->Arg(b)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

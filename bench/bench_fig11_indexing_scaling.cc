@@ -1,0 +1,82 @@
+// Figure 11: "Indexing, growing the parameter space with basis size."
+//
+// Paper result: with the basis fixed at 10% of the parameter space and
+// both scaled together, the Array scan's per-point cost grows linearly
+// with the basis count while Normalization and Sorted SID grow
+// sub-linearly (one hash lookup regardless of basis count).
+//
+// Rows: basis count (Arg); space = 10x basis count points.
+// Counters: s_per_point, bases.
+
+#include "bench_common.h"
+
+#include "util/timer.h"
+
+#include "core/sim_runner.h"
+#include "models/cloud_models.h"
+
+namespace {
+
+using namespace jigsaw;
+using bench::PaperConfig;
+
+void ScalingBench(benchmark::State& state, IndexKind index) {
+  const int num_basis = static_cast<int>(state.range(0));
+  const double points = num_basis * 10;  // basis = 10% of the space
+  CloudModelConfig mcfg;
+  mcfg.synth_num_basis = num_basis;
+  BlackBoxSimFunction fn(MakeSynthBasisModel(mcfg));
+
+  ParameterSpace space;
+  (void)space.Add({"point", RangeDomain{0, points - 1, 1}});
+
+  RunConfig cfg = PaperConfig();
+  cfg.index_kind = index;
+  std::size_t bases = 0;
+  for (auto _ : state) {
+    SimulationRunner runner(cfg);
+    WallTimer timer;
+    runner.RunSweep(fn, space);
+    state.SetIterationTime(timer.ElapsedSeconds());
+    bases = runner.basis_store().size();
+  }
+  state.counters["s_per_point"] = benchmark::Counter(
+      points, benchmark::Counter::kIsIterationInvariantRate |
+                  benchmark::Counter::kInvert);
+  state.counters["bases"] = static_cast<double>(bases);
+}
+
+void BM_Scale_Array(benchmark::State& state) {
+  ScalingBench(state, IndexKind::kArray);
+}
+void BM_Scale_Normalization(benchmark::State& state) {
+  ScalingBench(state, IndexKind::kNormalization);
+}
+void BM_Scale_SortedSID(benchmark::State& state) {
+  ScalingBench(state, IndexKind::kSortedSid);
+}
+
+const std::vector<std::int64_t> kBasisCounts = {50, 100, 150, 200, 300,
+                                                400, 500};
+
+void Register() {
+  for (auto b : kBasisCounts) {
+    benchmark::RegisterBenchmark("BM_Scale_Array", BM_Scale_Array)
+        ->Arg(b)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+    benchmark::RegisterBenchmark("BM_Scale_Normalization",
+                                 BM_Scale_Normalization)
+        ->Arg(b)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+    benchmark::RegisterBenchmark("BM_Scale_SortedSID", BM_Scale_SortedSID)
+        ->Arg(b)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 12: "Performance for a Markov process" — ms/step of the naive
+// runner vs the Markov-jump runner as the branching factor (probability
+// of a state divergence per step) grows from 1e-5 to 0.1.
+//
+// Paper result: the naive runner is flat (~100 ms/step on their setup);
+// Jigsaw starts ~10x cheaper and degrades as branching grows, crossing
+// the naive line around branching ~ 1/20 ("Jigsaw is able to improve the
+// efficiency of Markovian processes where as many as one in twenty steps
+// involves a discontinuity").
+//
+// The chain is invoked for 128 steps (as in the paper).
+// Counters: ms_per_step, honest step invocations, estimator invocations.
+
+#include "bench_common.h"
+
+#include "util/timer.h"
+
+#include "markov/chain_runner.h"
+#include "markov/markov_models.h"
+
+namespace {
+
+using namespace jigsaw;
+using bench::PaperConfig;
+
+constexpr std::int64_t kSteps = 128;
+
+MarkovBranchProcess ProcessFor(std::int64_t branching_ppm) {
+  MarkovBranchConfig cfg;
+  cfg.branching = static_cast<double>(branching_ppm) * 1e-6;
+  return MarkovBranchProcess(cfg);
+}
+
+void BM_Markov_Naive(benchmark::State& state) {
+  const MarkovBranchProcess process = ProcessFor(state.range(0));
+  const RunConfig cfg = PaperConfig();
+  for (auto _ : state) {
+    NaiveChainRunner runner(cfg);
+    WallTimer timer;
+    benchmark::DoNotOptimize(runner.Run(process, kSteps));
+    state.SetIterationTime(timer.ElapsedSeconds());
+  }
+  state.counters["ms_per_step"] = benchmark::Counter(
+      static_cast<double>(kSteps) / 1000.0,
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+  state.counters["branching"] = static_cast<double>(state.range(0)) * 1e-6;
+}
+
+void BM_Markov_Jigsaw(benchmark::State& state) {
+  const MarkovBranchProcess process = ProcessFor(state.range(0));
+  const RunConfig cfg = PaperConfig();
+  ChainRunStats stats;
+  for (auto _ : state) {
+    MarkovJumpRunner runner(cfg);
+    WallTimer timer;
+    const auto result = runner.Run(process, kSteps);
+    state.SetIterationTime(timer.ElapsedSeconds());
+    stats = result.stats;
+  }
+  state.counters["ms_per_step"] = benchmark::Counter(
+      static_cast<double>(kSteps) / 1000.0,
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+  state.counters["branching"] = static_cast<double>(state.range(0)) * 1e-6;
+  state.counters["honest_steps"] =
+      static_cast<double>(stats.step_invocations);
+  state.counters["estimator_evals"] =
+      static_cast<double>(stats.estimator_invocations);
+}
+
+// Branching factors in parts-per-million: 1e-5 ... 0.1.
+const std::vector<std::int64_t> kBranchingPpm = {10,    100,   1000, 5000,
+                                                 10000, 20000, 50000, 100000};
+
+void Register() {
+  for (auto b : kBranchingPpm) {
+    benchmark::RegisterBenchmark("BM_Markov_Naive", BM_Markov_Naive)
+        ->Arg(b)->Unit(benchmark::kMillisecond)->UseManualTime()
+        ->Iterations(3);
+    benchmark::RegisterBenchmark("BM_Markov_Jigsaw", BM_Markov_Jigsaw)
+        ->Arg(b)->Unit(benchmark::kMillisecond)->UseManualTime()
+        ->Iterations(3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

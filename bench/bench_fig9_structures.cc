@@ -1,0 +1,98 @@
+// Figure 9: "Computation time versus the size of structures in the
+// Capacity model."
+//
+// Paper result: each purchase is followed by a settling window (a
+// "structure") during which the hardware is online in only an
+// exponentially-shrinking fraction of instances. As the structure grows
+// from 0 to 20 weeks, time per point rises only sub-linearly (~0.08 to
+// ~0.22 ms/point) because Jigsaw recognizes matching positions inside
+// each structure and reuses their bases; both index strategies stay below
+// the Array scan.
+//
+// Rows: structure size (weeks, the benchmark Arg) x index strategy.
+// Counters: ms_per_point, bases.
+
+#include "bench_common.h"
+
+#include "util/timer.h"
+
+#include "core/sim_runner.h"
+#include "models/cloud_models.h"
+
+namespace {
+
+using namespace jigsaw;
+using bench::FullScale;
+using bench::PaperConfig;
+
+ParameterSpace CapacitySpace() {
+  ParameterSpace space;
+  const double weeks = FullScale() ? 51 : 25;
+  (void)space.Add({"week", RangeDomain{0, weeks, 1}});
+  (void)space.Add({"p1", RangeDomain{0, 48, 4}});
+  (void)space.Add({"p2", RangeDomain{0, 48, 4}});
+  return space;
+}
+
+void StructureBench(benchmark::State& state, IndexKind index) {
+  // Arg: structure size in tenths of a week (0 -> nearly instant settle).
+  const double settle = std::max(state.range(0) / 10.0, 0.05);
+  CloudModelConfig mcfg;
+  mcfg.settle_weeks = settle;
+  BlackBoxSimFunction fn(MakeCapacityModel(mcfg));
+  const ParameterSpace space = CapacitySpace();
+
+  RunConfig cfg = PaperConfig();
+  cfg.index_kind = index;
+  std::size_t bases = 0;
+  for (auto _ : state) {
+    SimulationRunner runner(cfg);
+    WallTimer timer;
+    runner.RunSweep(fn, space);
+    state.SetIterationTime(timer.ElapsedSeconds());
+    bases = runner.basis_store().size();
+  }
+  const double points = static_cast<double>(space.NumPoints());
+  state.counters["ms_per_point"] = benchmark::Counter(
+      points / 1000.0,
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+  state.counters["bases"] = static_cast<double>(bases);
+  state.counters["structure_weeks"] = settle;
+}
+
+void BM_Structure_Array(benchmark::State& state) {
+  StructureBench(state, IndexKind::kArray);
+}
+void BM_Structure_Normalization(benchmark::State& state) {
+  StructureBench(state, IndexKind::kNormalization);
+}
+void BM_Structure_SortedSID(benchmark::State& state) {
+  StructureBench(state, IndexKind::kSortedSid);
+}
+
+// Structure sizes 0..20 weeks (Args are tenths of a week).
+const std::vector<std::int64_t> kSizes = {1, 5, 10, 20, 40, 80, 140, 200};
+
+void Register() {
+  for (auto s : kSizes) {
+    benchmark::RegisterBenchmark("BM_Structure_Array", BM_Structure_Array)
+        ->Arg(s)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+    benchmark::RegisterBenchmark("BM_Structure_Normalization",
+                                 BM_Structure_Normalization)
+        ->Arg(s)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+    benchmark::RegisterBenchmark("BM_Structure_SortedSID",
+                                 BM_Structure_SortedSID)
+        ->Arg(s)->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

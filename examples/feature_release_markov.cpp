@@ -1,0 +1,90 @@
+// Feature release planning with a cyclical dependency (Figure 5 /
+// Section 4).
+//
+// The feature release date depends on forecast demand, and demand
+// depends on the release date — a Markov chain evaluated week by week.
+// Jigsaw's MarkovJump skips the long non-Markovian stretches before and
+// after the pull-in event by validating a synthesized estimator against
+// chain fingerprints.
+//
+//   $ ./feature_release_markov
+
+#include <cstdio>
+
+#include "models/cloud_models.h"
+#include "sql/chain_process.h"
+#include "sql/script_runner.h"
+
+namespace {
+
+constexpr const char* kScenario = R"(
+-- DEFINITION --
+DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @release_week AS CHAIN release_week
+  FROM @current_week : @current_week - 1 INITIAL VALUE 52;
+SELECT CASE WHEN demand > 26 AND @current_week + 4 < @release_week
+            THEN @current_week + 4 ELSE @release_week END AS release_week,
+       demand
+FROM (SELECT DemandModel(@current_week, @release_week) AS demand)
+INTO results;
+)";
+
+}  // namespace
+
+int main() {
+  using namespace jigsaw;
+
+  ModelRegistry registry;
+  if (!RegisterCloudModels(&registry).ok()) return 1;
+
+  auto bound = sql::ParseAndBind(kScenario, registry);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "bind error: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+
+  RunConfig cfg;
+  cfg.num_samples = 1000;
+  cfg.fingerprint_size = 10;
+
+  std::printf(
+      "Release pulled in when demand crosses 26 (expected near week 26).\n"
+      "Evaluating the chain at selected horizons, naive vs Markov-jump:\n\n");
+  std::printf(
+      "week | E[release] naive/jump | E[demand] naive/jump | honest steps "
+      "naive/jump\n");
+  std::printf(
+      "-----+-----------------------+----------------------+-------------"
+      "----------\n");
+
+  for (std::int64_t target : {10, 20, 30, 40, 52}) {
+    ChainRunStats naive_stats, jump_stats;
+    auto naive_rel = sql::RunChainScenario(bound.value(), "release_week",
+                                           target, cfg, false, &naive_stats);
+    auto jump_rel = sql::RunChainScenario(bound.value(), "release_week",
+                                          target, cfg, true, &jump_stats);
+    auto naive_dem = sql::RunChainScenario(bound.value(), "demand", target,
+                                           cfg, false, nullptr);
+    auto jump_dem = sql::RunChainScenario(bound.value(), "demand", target,
+                                          cfg, true, nullptr);
+    if (!naive_rel.ok() || !jump_rel.ok() || !naive_dem.ok() ||
+        !jump_dem.ok()) {
+      std::fprintf(stderr, "chain run failed\n");
+      return 1;
+    }
+    std::printf("%4lld | %9.2f / %-9.2f | %8.2f / %-8.2f | %8llu / %llu\n",
+                static_cast<long long>(target), naive_rel.value().mean,
+                jump_rel.value().mean, naive_dem.value().mean,
+                jump_dem.value().mean,
+                static_cast<unsigned long long>(naive_stats.step_invocations),
+                static_cast<unsigned long long>(jump_stats.step_invocations));
+  }
+
+  std::printf(
+      "\nThe jump runner steps only the %zu fingerprint instances through\n"
+      "quiet regions and rebuilds the full population of %zu instances\n"
+      "from the mapped estimator — the Section 4 speedup.\n",
+      cfg.fingerprint_size, cfg.num_samples);
+  return 0;
+}

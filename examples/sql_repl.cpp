@@ -1,0 +1,73 @@
+// Minimal Jigsaw script runner: executes a query file (or stdin) against
+// the built-in cloud model registry and prints the outcome — useful for
+// experimenting with the query language without writing C++.
+//
+//   $ ./sql_repl my_scenario.sql
+//   $ echo "DECLARE ... SELECT ... OPTIMIZE ..." | ./sql_repl
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "interactive/ascii_graph.h"
+#include "models/cloud_models.h"
+#include "sql/script_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace jigsaw;
+
+  std::string text;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  }
+  if (text.empty()) {
+    std::fprintf(stderr, "usage: sql_repl [script.sql]  (or pipe a script)\n");
+    return 1;
+  }
+
+  ModelRegistry registry;
+  if (!RegisterCloudModels(&registry).ok()) return 1;
+
+  RunConfig cfg;
+  cfg.num_samples = 500;
+  cfg.fingerprint_size = 10;
+  sql::ScriptRunner runner(&registry, cfg);
+
+  auto outcome = runner.Run(text);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  const auto& o = outcome.value();
+
+  if (o.optimize) {
+    std::printf("%s\n", o.optimize->ToString().c_str());
+    std::printf("group valuations explored: %zu\n", o.optimize->groups.size());
+  }
+  if (o.graph) {
+    std::vector<AsciiSeries> series(o.graph->spec.series.size());
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      series[s].label = o.graph->spec.series[s].column;
+      series[s].style = o.graph->spec.series[s].style;
+      for (const auto& p : o.graph->points) {
+        series[s].x.push_back(p.x);
+        series[s].y.push_back(p.y[s]);
+      }
+    }
+    std::printf("%s", RenderAsciiGraph(series).c_str());
+  }
+  std::printf("%s", o.Report().c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file basis_store.h
+/// The set of basis distributions maintained during execution (Section
+/// 3.1, "Using Fingerprints"): tuples (theta_i, o_i) recording that the
+/// output metrics o_i were fully computed for a simulation whose
+/// fingerprint was theta_i. FindMatch implements lines 2-6 of Algorithm 3:
+/// prune with the index, then validate candidates with FindMapping.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "core/fingerprint_index.h"
+#include "core/mapping.h"
+#include "core/metrics.h"
+
+namespace jigsaw {
+
+struct BasisDistribution {
+  BasisId id = 0;
+  Fingerprint fingerprint;
+  OutputMetrics metrics;
+  /// How many parameter points have reused this basis.
+  std::uint64_t reuse_count = 0;
+};
+
+struct BasisMatch {
+  BasisId basis_id;
+  MappingPtr mapping;  ///< maps basis domain -> probe domain
+};
+
+/// Counters used by the evaluation (basis counts in Figures 9-11, reuse
+/// rates in Figure 8).
+struct BasisStoreStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t candidates_tested = 0;
+  std::uint64_t false_positive_candidates = 0;
+};
+
+class BasisStore {
+ public:
+  BasisStore(MappingFinderPtr finder, IndexKind index_kind, double tol,
+             double quantum)
+      : finder_(std::move(finder)),
+        tol_(tol),
+        index_(MakeFingerprintIndex(index_kind, finder_, tol, quantum)) {}
+
+  /// Finds a basis whose fingerprint maps onto `probe` (basis -> probe
+  /// direction, so basis metrics mapped by the result describe the probe).
+  std::optional<BasisMatch> FindMatch(const Fingerprint& probe);
+
+  /// Registers a fully-simulated distribution as a new basis.
+  const BasisDistribution& Insert(Fingerprint fp, OutputMetrics metrics);
+
+  const BasisDistribution& Get(BasisId id) const { return bases_[id]; }
+  BasisDistribution& GetMutable(BasisId id) { return bases_[id]; }
+  std::size_t size() const { return bases_.size(); }
+  const BasisStoreStats& stats() const { return stats_; }
+  const std::string& index_name() const { return index_->name(); }
+
+ private:
+  MappingFinderPtr finder_;
+  double tol_;
+  std::unique_ptr<FingerprintIndex> index_;
+  std::vector<BasisDistribution> bases_;
+  std::vector<BasisId> candidate_buffer_;
+  BasisStoreStats stats_;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,43 @@
+#include "core/fingerprint.h"
+
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace jigsaw {
+
+std::optional<std::pair<std::size_t, std::size_t>>
+Fingerprint::FirstTwoDistinct(double tol) const {
+  if (values_.size() < 2) return std::nullopt;
+  const double first = values_[0];
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    if (!ApproxEqual(values_[i], first, tol)) return std::make_pair(0UL, i);
+  }
+  return std::nullopt;
+}
+
+std::string Fingerprint::ToString() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += DoubleToString(values_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Fingerprint ComputeFingerprint(const SimFunction& fn,
+                               std::span<const double> params,
+                               const SeedVector& seeds, std::size_t m) {
+  JIGSAW_CHECK_MSG(m <= seeds.size(),
+                   "fingerprint size " << m << " exceeds seed vector size "
+                                       << seeds.size());
+  std::vector<double> values;
+  values.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    values.push_back(fn.Sample(params, k, seeds));
+  }
+  return Fingerprint(std::move(values));
+}
+
+}  // namespace jigsaw

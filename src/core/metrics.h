@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file metrics.h
+/// The Estimator of Figure 3: aggregates i.i.d. samples of a query-result
+/// distribution into the "characteristics of interest (mean, standard
+/// deviation, etc.)". OutputMetrics is the value cached per basis
+/// distribution; MappedBy() is the M_est of Section 3 — it re-derives the
+/// metrics of a mapped parameter point without re-simulation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapping.h"
+#include "util/histogram.h"
+#include "util/math_util.h"
+
+namespace jigsaw {
+
+struct OutputMetrics {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;       ///< population stddev
+  double std_error = 0.0;    ///< standard error of the mean
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  std::optional<Histogram> histogram;
+  /// Raw samples, retained only when RunConfig.keep_samples is set (needed
+  /// by symbolic post-processing and some tests; costs memory).
+  std::vector<double> samples;
+
+  /// Applies a mapping function to every derived value. Affine mappings
+  /// transform analytically (exactly); non-affine invertible mappings fall
+  /// back to element-wise transformation of retained samples. Returns
+  /// nullopt if neither path is possible.
+  std::optional<OutputMetrics> MappedBy(const MappingFunction& m,
+                                        int histogram_bins) const;
+
+  std::string ToString() const;
+};
+
+/// Streaming estimator used by both the naive path and the fingerprint
+/// path (fingerprint samples are the first m simulation rounds and feed
+/// the same accumulator).
+class Estimator {
+ public:
+  explicit Estimator(bool keep_samples = false, int histogram_bins = 20)
+      : keep_samples_(keep_samples), histogram_bins_(histogram_bins) {}
+
+  void Add(double x) {
+    acc_.Add(x);
+    all_.push_back(x);
+  }
+
+  std::int64_t count() const { return acc_.count(); }
+
+  /// Finalizes metrics over everything added so far.
+  OutputMetrics Finalize() const;
+
+ private:
+  WelfordAccumulator acc_;
+  bool keep_samples_;
+  int histogram_bins_;
+  // Kept internally for quantiles/histogram; copied into the result only
+  // when keep_samples_ is set.
+  std::vector<double> all_;
+};
+
+/// Convenience: metrics of a sample vector.
+OutputMetrics MetricsFromSamples(const std::vector<double>& samples,
+                                 bool keep_samples, int histogram_bins);
+
+}  // namespace jigsaw

@@ -1,0 +1,96 @@
+#include "core/parameter_space.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jigsaw {
+
+std::vector<double> ParameterDef::Values() const {
+  if (const auto* range = std::get_if<RangeDomain>(&domain)) {
+    std::vector<double> out;
+    JIGSAW_CHECK_MSG(range->step > 0.0, "non-positive RANGE step");
+    // Tolerate floating point drift at the upper bound.
+    const double eps = range->step * 1e-9;
+    for (double v = range->lo; v <= range->hi + eps; v += range->step) {
+      out.push_back(v);
+    }
+    return out;
+  }
+  if (const auto* set = std::get_if<SetDomain>(&domain)) {
+    return set->values;
+  }
+  return {};  // CHAIN: not enumerated
+}
+
+Status ParameterSpace::Add(ParameterDef def) {
+  if (IndexOf(def.name)) {
+    return Status::AlreadyExists("parameter '@" + def.name +
+                                 "' declared twice");
+  }
+  if (const auto* range = std::get_if<RangeDomain>(&def.domain)) {
+    if (range->step <= 0.0) {
+      return Status::InvalidArgument("parameter '@" + def.name +
+                                     "' has non-positive STEP");
+    }
+    if (range->hi < range->lo) {
+      return Status::InvalidArgument("parameter '@" + def.name +
+                                     "' has empty RANGE");
+    }
+  }
+  if (const auto* set = std::get_if<SetDomain>(&def.domain)) {
+    if (set->values.empty()) {
+      return Status::InvalidArgument("parameter '@" + def.name +
+                                     "' has empty SET");
+    }
+  }
+  defs_.push_back(std::move(def));
+  return Status::OK();
+}
+
+std::optional<std::size_t> ParameterSpace::IndexOf(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (EqualsIgnoreCase(defs_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t ParameterSpace::NumPoints() const {
+  std::size_t n = 1;
+  for (const auto& d : defs_) {
+    if (d.is_chain()) continue;
+    n *= d.cardinality();
+  }
+  return n;
+}
+
+std::vector<double> ParameterSpace::ValuationAt(std::size_t idx) const {
+  std::vector<double> out(defs_.size(), 0.0);
+  // Row-major: last non-chain parameter varies fastest.
+  std::size_t remaining = idx;
+  for (std::size_t i = defs_.size(); i-- > 0;) {
+    const auto& d = defs_[i];
+    if (d.is_chain()) {
+      out[i] = std::get<ChainDomain>(d.domain).initial;
+      continue;
+    }
+    const auto values = d.Values();
+    const std::size_t card = values.size();
+    out[i] = values[remaining % card];
+    remaining /= card;
+  }
+  JIGSAW_CHECK_MSG(remaining == 0, "valuation index out of range");
+  return out;
+}
+
+std::vector<std::vector<double>> ParameterSpace::EnumerateAll() const {
+  std::vector<std::vector<double>> out;
+  const std::size_t n = NumPoints();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ValuationAt(i));
+  return out;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file run_config.h
+/// Knobs shared by the batch runner, the Markov-jump runner and the
+/// interactive engine. Defaults mirror the paper's experimental setup
+/// (Section 6): 1000 sample instances per parameter point, fingerprint
+/// size 10.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/fingerprint_index.h"
+
+namespace jigsaw {
+
+struct RunConfig {
+  /// n: Monte Carlo sample instances per parameter point.
+  std::size_t num_samples = 1000;
+
+  /// m: fingerprint size (the first m of the n samples).
+  std::size_t fingerprint_size = 10;
+
+  /// Master toggle: false reproduces the naive "generate everything"
+  /// baseline of Figure 8.
+  bool use_fingerprints = true;
+
+  /// Index strategy over the basis fingerprints (Section 3.2).
+  IndexKind index_kind = IndexKind::kNormalization;
+
+  /// Relative tolerance used when validating candidate mappings
+  /// (Algorithm 2's equality test, adapted to IEEE doubles).
+  double tolerance = 1e-9;
+
+  /// Quantization grid for index hash keys.
+  double quantum = 1e-6;
+
+  /// Seed of the global seed vector {sigma_k}.
+  std::uint64_t master_seed = 0x5160534A00000001ULL;  // "JIGSAW"-ish tag
+
+  /// Estimator output shape.
+  int histogram_bins = 20;
+  bool keep_samples = false;
+
+  /// Worker threads for sample evaluation (MCDB runs sampled worlds in
+  /// parallel). Results are bit-identical regardless of thread count:
+  /// each sample depends only on its seed, and samples are folded into
+  /// the estimator in index order.
+  std::size_t num_threads = 1;
+};
+
+}  // namespace jigsaw

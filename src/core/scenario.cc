@@ -1,0 +1,15 @@
+#include "core/scenario.h"
+
+#include "util/string_util.h"
+
+namespace jigsaw {
+
+Result<const ScenarioColumn*> Scenario::FindColumn(
+    const std::string& name) const {
+  for (const auto& col : columns) {
+    if (EqualsIgnoreCase(col.name, name)) return &col;
+  }
+  return Status::NotFound("result table has no column '" + name + "'");
+}
+
+}  // namespace jigsaw

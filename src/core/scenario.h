@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file scenario.h
+/// A bound what-if scenario: the executable form of the DEFINITION block
+/// of a Jigsaw query (Figure 1). Parameters plus named result columns,
+/// each column being a SimFunction over the full parameter vector. The SQL
+/// binder produces Scenarios; the batch optimizer, the graph renderer and
+/// the interactive engine consume them.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parameter_space.h"
+#include "core/sim_function.h"
+#include "util/status.h"
+
+namespace jigsaw {
+
+struct ScenarioColumn {
+  std::string name;
+  SimFunctionPtr fn;
+};
+
+struct Scenario {
+  ParameterSpace params;
+  std::vector<ScenarioColumn> columns;
+  std::string into_table;  ///< SELECT ... INTO <table>
+
+  /// Column lookup by (case-insensitive) name.
+  Result<const ScenarioColumn*> FindColumn(const std::string& name) const;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,114 @@
+#include "core/sim_runner.h"
+
+#include "util/logging.h"
+
+namespace jigsaw {
+
+SimulationRunner::SimulationRunner(const RunConfig& config,
+                                   MappingFinderPtr finder)
+    : config_(config),
+      finder_(finder ? std::move(finder) : LinearMappingFinder::Make()),
+      seeds_(config.master_seed, config.num_samples),
+      basis_store_(finder_, config.index_kind, config.tolerance,
+                   config.quantum) {
+  JIGSAW_CHECK_MSG(config_.fingerprint_size <= config_.num_samples,
+                   "fingerprint size m must be <= sample count n");
+  JIGSAW_CHECK_MSG(config_.fingerprint_size >= 2,
+                   "fingerprint size m must be >= 2 to fit a mapping");
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
+void SimulationRunner::EvaluateRange(const SimFunction& fn,
+                                     std::span<const double> params,
+                                     std::size_t begin, std::size_t end,
+                                     std::vector<double>* out) {
+  out->resize(end - begin);
+  if (pool_ == nullptr || end - begin < 2 * config_.num_threads) {
+    for (std::size_t k = begin; k < end; ++k) {
+      (*out)[k - begin] = fn.Sample(params, k, seeds_);
+    }
+    return;
+  }
+  // Samples are independent given their seeds; any schedule produces the
+  // same values, and the caller folds them in index order.
+  pool_->ParallelFor(end - begin, [&](std::size_t i) {
+    (*out)[i] = fn.Sample(params, begin + i, seeds_);
+  });
+}
+
+PointResult SimulationRunner::RunPoint(const SimFunction& fn,
+                                       std::span<const double> params) {
+  ++stats_.points_evaluated;
+  const std::size_t n = config_.num_samples;
+  const std::size_t m =
+      config_.use_fingerprints ? config_.fingerprint_size : 0;
+
+  PointResult result;
+  Estimator estimator(config_.keep_samples, config_.histogram_bins);
+
+  if (config_.use_fingerprints) {
+    // The fingerprint is the first m rounds of this point's simulation.
+    Fingerprint fp = ComputeFingerprint(fn, params, seeds_, m);
+    stats_.blackbox_invocations += m;
+    for (double v : fp.values()) estimator.Add(v);
+
+    if (auto match = basis_store_.FindMatch(fp)) {
+      // Reuse: map the basis metrics into this point's domain. The
+      // Selector only ever compares mapped outputs across parameter
+      // values; it never mixes their samples (Section 6.2's correctness
+      // argument).
+      const auto& basis = basis_store_.Get(match->basis_id);
+      auto mapped =
+          basis.metrics.MappedBy(*match->mapping, config_.histogram_bins);
+      if (mapped.has_value()) {
+        ++stats_.points_reused;
+        result.metrics = std::move(*mapped);
+        result.reused = true;
+        result.basis_id = match->basis_id;
+        result.mapping = match->mapping;
+        return result;
+      }
+      // Mapping exists but metrics could not be transformed (exotic
+      // mapping class without retained samples): fall through to full
+      // simulation.
+    }
+
+    // Miss: finish the remaining rounds and register a new basis.
+    std::vector<double> tail;
+    EvaluateRange(fn, params, m, n, &tail);
+    for (double v : tail) estimator.Add(v);
+    stats_.blackbox_invocations += n - m;
+    result.metrics = estimator.Finalize();
+    const auto& basis = basis_store_.Insert(std::move(fp), result.metrics);
+    result.reused = false;
+    result.basis_id = basis.id;
+    result.mapping = IdentityMapping::Make();
+    return result;
+  }
+
+  // Naive baseline: generate everything.
+  std::vector<double> all;
+  EvaluateRange(fn, params, 0, n, &all);
+  for (double v : all) estimator.Add(v);
+  stats_.blackbox_invocations += n;
+  result.metrics = estimator.Finalize();
+  result.reused = false;
+  result.mapping = IdentityMapping::Make();
+  return result;
+}
+
+std::vector<PointResult> SimulationRunner::RunSweep(
+    const SimFunction& fn, const ParameterSpace& space) {
+  std::vector<PointResult> out;
+  const std::size_t n = space.NumPoints();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto valuation = space.ValuationAt(i);
+    out.push_back(RunPoint(fn, valuation));
+  }
+  return out;
+}
+
+}  // namespace jigsaw

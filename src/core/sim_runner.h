@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file sim_runner.h
+/// The fingerprint-accelerated Monte Carlo driver — Algorithm 3
+/// (FindMatch) embedded in the simulation loop of Figure 3. For each
+/// parameter point the runner:
+///
+///   1. evaluates the first m seeded samples (the fingerprint);
+///   2. asks the BasisStore for a mappable basis distribution;
+///   3. on a hit, returns M_est(basis.metrics) — no further sampling;
+///   4. on a miss, completes the remaining n-m samples, registers the new
+///      basis, and returns the freshly-estimated metrics.
+///
+/// With use_fingerprints=false it degrades to the naive generate-
+/// everything baseline the paper compares against.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+#include "core/basis_store.h"
+#include "core/metrics.h"
+#include "core/parameter_space.h"
+#include "core/run_config.h"
+#include "core/sim_function.h"
+#include "random/seed_vector.h"
+
+namespace jigsaw {
+
+/// Per-point accounting, aggregated into the evaluation's reported
+/// invocation counts and reuse rates.
+struct RunnerStats {
+  std::uint64_t points_evaluated = 0;
+  std::uint64_t points_reused = 0;
+  std::uint64_t blackbox_invocations = 0;
+};
+
+struct PointResult {
+  OutputMetrics metrics;
+  bool reused = false;          ///< true if served from a mapped basis
+  BasisId basis_id = 0;         ///< basis that served (or was created)
+  MappingPtr mapping;           ///< mapping used (identity for new bases)
+};
+
+class SimulationRunner {
+ public:
+  explicit SimulationRunner(const RunConfig& config,
+                            MappingFinderPtr finder = nullptr);
+
+  /// Evaluates one parameter point of `fn` (Algorithm 3 + estimator).
+  PointResult RunPoint(const SimFunction& fn,
+                       std::span<const double> params);
+
+  /// Sweeps an entire parameter space; returns metrics per valuation in
+  /// row-major enumeration order.
+  std::vector<PointResult> RunSweep(const SimFunction& fn,
+                                    const ParameterSpace& space);
+
+  const RunConfig& config() const { return config_; }
+  const SeedVector& seeds() const { return seeds_; }
+  BasisStore& basis_store() { return basis_store_; }
+  const BasisStore& basis_store() const { return basis_store_; }
+  const RunnerStats& stats() const { return stats_; }
+
+ private:
+  /// Evaluates samples [begin, end) of `fn` into `out[k - begin]`,
+  /// fanning out across the pool when configured.
+  void EvaluateRange(const SimFunction& fn, std::span<const double> params,
+                     std::size_t begin, std::size_t end,
+                     std::vector<double>* out);
+
+  RunConfig config_;
+  MappingFinderPtr finder_;
+  SeedVector seeds_;
+  BasisStore basis_store_;
+  RunnerStats stats_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,91 @@
+#include "interactive/ascii_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace jigsaw {
+
+char GlyphForStyle(const std::string& style, std::size_t series_index) {
+  const std::string lower = ToLower(style);
+  if (lower.find("bold") != std::string::npos) return '#';
+  if (lower.find("red") != std::string::npos) return '*';
+  if (lower.find("blue") != std::string::npos) return '+';
+  if (lower.find("orange") != std::string::npos) return 'o';
+  if (lower.find("green") != std::string::npos) return 'x';
+  static const char kDefaults[] = {'*', '+', 'o', 'x', '%', '@'};
+  return kDefaults[series_index % sizeof(kDefaults)];
+}
+
+std::string RenderAsciiGraph(const std::vector<AsciiSeries>& series,
+                             const AsciiGraphOptions& options) {
+  const int w = std::max(options.width, 8);
+  const int h = std::max(options.height, 4);
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -ymin;
+  bool any = false;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    const char glyph = GlyphForStyle(s.style, si);
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      const int col = static_cast<int>(
+          std::lround((s.x[i] - xmin) / (xmax - xmin) * (w - 1)));
+      const int row = static_cast<int>(
+          std::lround((s.y[i] - ymin) / (ymax - ymin) * (h - 1)));
+      const int r = h - 1 - std::clamp(row, 0, h - 1);
+      const int c = std::clamp(col, 0, w - 1);
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = glyph;
+    }
+  }
+
+  std::string out;
+  out += StrFormat("%10.4g +", ymax);
+  out.append(static_cast<std::size_t>(w), '-');
+  out += "\n";
+  for (int r = 0; r < h; ++r) {
+    out += "           |";
+    out += grid[static_cast<std::size_t>(r)];
+    out += "\n";
+  }
+  out += StrFormat("%10.4g +", ymin);
+  out.append(static_cast<std::size_t>(w), '-');
+  out += "\n";
+  out += StrFormat("            %-10.4g%*s%10.4g\n", xmin,
+                   std::max(1, w - 20), "", xmax);
+
+  if (options.legend) {
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      out += StrFormat("  %c %s", GlyphForStyle(series[si].style, si),
+                       series[si].label.c_str());
+      if (!series[si].style.empty()) {
+        out += " (" + series[si].style + ")";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file ascii_graph.h
+/// Terminal rendering of GRAPH OVER results — the stand-in for the Fuzzy
+/// Prophet GUI of Figure 2. Each series' WITH style picks a glyph; the
+/// chart is a fixed-size character grid with axis labels and a legend.
+
+#include <string>
+#include <vector>
+
+#include "core/graph_spec.h"
+
+namespace jigsaw {
+
+struct AsciiGraphOptions {
+  int width = 72;    ///< plot area columns
+  int height = 20;   ///< plot area rows
+  bool legend = true;
+};
+
+/// One renderable series: x/y pairs plus a style hint ("bold red" -> '#').
+struct AsciiSeries {
+  std::string label;
+  std::string style;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Maps a WITH-style word list to a plot glyph (stable mapping so tests
+/// can assert on output).
+char GlyphForStyle(const std::string& style, std::size_t series_index);
+
+/// Renders series onto a shared chart. All series share the x scale; the
+/// y scale covers the min/max across series (the paper's y2 axis hint is
+/// honored by normalizing such series to the primary range).
+std::string RenderAsciiGraph(const std::vector<AsciiSeries>& series,
+                             const AsciiGraphOptions& options = {});
+
+}  // namespace jigsaw

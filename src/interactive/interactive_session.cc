@@ -1,0 +1,273 @@
+#include "interactive/interactive_session.h"
+
+#include <algorithm>
+
+#include "core/fingerprint.h"
+#include "util/logging.h"
+
+namespace jigsaw {
+
+const char* InteractiveTaskName(InteractiveTask task) {
+  switch (task) {
+    case InteractiveTask::kRefinement:
+      return "refinement";
+    case InteractiveTask::kValidation:
+      return "validation";
+    case InteractiveTask::kExploration:
+      return "exploration";
+  }
+  return "?";
+}
+
+/// One basis distribution shared by mapped points. Samples live in the
+/// basis domain; refinement inserts M^{-1}(value) for new ids.
+struct InteractiveSession::BasisRecord {
+  std::map<std::size_t, double> samples;  // sample id -> basis-domain value
+  WelfordAccumulator acc;
+  std::size_t subscribers = 0;
+
+  void AddSample(std::size_t id, double value) {
+    if (samples.emplace(id, value).second) acc.Add(value);
+  }
+};
+
+struct InteractiveSession::PointState {
+  std::vector<double> valuation;
+  /// Own evaluations of this point (the progressively grown fingerprint).
+  std::map<std::size_t, double> own;
+  std::shared_ptr<BasisRecord> basis;
+  MappingPtr mapping;  // basis -> point
+};
+
+InteractiveSession::InteractiveSession(SimFunctionPtr fn,
+                                       ParameterSpace space,
+                                       const InteractiveConfig& config)
+    : fn_(std::move(fn)),
+      space_(std::move(space)),
+      config_(config),
+      seeds_(config.run.master_seed, config.max_samples),
+      heuristic_rng_(config.run.master_seed ^ 0x1A7EAC717E5A17ULL),
+      finder_(LinearMappingFinder::Make()) {}
+
+InteractiveSession::~InteractiveSession() = default;
+
+std::size_t InteractiveSession::num_points() const {
+  return space_.NumPoints();
+}
+
+std::size_t InteractiveSession::basis_count() const { return bases_.size(); }
+
+Status InteractiveSession::SetFocus(std::size_t point_index) {
+  if (point_index >= space_.NumPoints()) {
+    return Status::OutOfRange("point index out of range");
+  }
+  focus_ = point_index;
+  return Status::OK();
+}
+
+InteractiveSession::PointState& InteractiveSession::StateFor(
+    std::size_t point_index) {
+  auto it = points_.find(point_index);
+  if (it == points_.end()) {
+    auto state = std::make_unique<PointState>();
+    state->valuation = space_.ValuationAt(point_index);
+    it = points_.emplace(point_index, std::move(state)).first;
+  }
+  return *it->second;
+}
+
+InteractiveTask InteractiveSession::PickTask(const PointState& state) {
+  // A point without a binding always refines first (it needs a
+  // fingerprint before anything else is meaningful).
+  if (state.basis == nullptr) return InteractiveTask::kRefinement;
+  const double r = heuristic_rng_.NextDouble();
+  if (r < config_.exploration_weight) return InteractiveTask::kExploration;
+  if (r < config_.exploration_weight + config_.validation_weight) {
+    return InteractiveTask::kValidation;
+  }
+  return InteractiveTask::kRefinement;
+}
+
+std::size_t InteractiveSession::ExploreHeuristic(std::size_t point_index) {
+  // Adjacent point in the (discrete) enumeration order — the paper's
+  // example of "points likely to be of interest in the near future".
+  const std::size_t n = space_.NumPoints();
+  if (n <= 1) return point_index;
+  if (heuristic_rng_.Bernoulli(0.5) && point_index + 1 < n) {
+    return point_index + 1;
+  }
+  return point_index > 0 ? point_index - 1 : point_index + 1;
+}
+
+void InteractiveSession::EvaluateBatch(std::size_t point_index,
+                                       const std::vector<std::size_t>& ids) {
+  PointState& state = StateFor(point_index);
+  for (std::size_t id : ids) {
+    if (id >= config_.max_samples) continue;
+    const double value = fn_->Sample(state.valuation, id, seeds_);
+    ++stats_.evaluations;
+    state.own[id] = value;
+
+    if (state.basis != nullptr && state.mapping != nullptr) {
+      auto bit = state.basis->samples.find(id);
+      if (bit != state.basis->samples.end()) {
+        // Validation: the duplicate sample extends the fingerprint.
+        if (!ApproxEqual(state.mapping->Apply(bit->second), value,
+                         config_.run.tolerance)) {
+          // Mapping no longer valid: detach and rebind below.
+          --state.basis->subscribers;
+          state.basis = nullptr;
+          state.mapping = nullptr;
+          ++stats_.rebinds;
+        }
+      } else if (state.mapping->Invertible()) {
+        // Refinement: map the fresh sample back into the basis domain so
+        // every subscriber benefits (Algorithm 5 line 21).
+        state.basis->AddSample(id, state.mapping->Invert(value));
+      }
+    }
+  }
+  if (state.basis == nullptr) BindPoint(point_index);
+}
+
+void InteractiveSession::BindPoint(std::size_t point_index) {
+  PointState& state = StateFor(point_index);
+  if (state.own.size() < 2) return;  // not enough for a mapping
+
+  // Fingerprint over this point's own sample ids.
+  std::vector<double> fp_values;
+  std::vector<std::size_t> fp_ids;
+  for (const auto& [id, v] : state.own) {
+    fp_ids.push_back(id);
+    fp_values.push_back(v);
+  }
+  const Fingerprint theta(fp_values);
+
+  // Try to map an existing basis onto this point over the shared ids.
+  for (const auto& basis : bases_) {
+    std::vector<double> basis_values;
+    basis_values.reserve(fp_ids.size());
+    bool complete = true;
+    for (std::size_t id : fp_ids) {
+      auto it = basis->samples.find(id);
+      if (it == basis->samples.end()) {
+        complete = false;
+        break;
+      }
+      basis_values.push_back(it->second);
+    }
+    if (!complete) continue;
+    MappingPtr m = finder_->Find(Fingerprint(basis_values), theta,
+                                 config_.run.tolerance);
+    if (m != nullptr) {
+      state.basis = basis;
+      state.mapping = std::move(m);
+      ++basis->subscribers;
+      ++stats_.borrow_hits;
+      return;
+    }
+  }
+
+  // No mappable basis: promote this point's own samples to a new basis.
+  auto basis = std::make_shared<BasisRecord>();
+  for (const auto& [id, v] : state.own) basis->AddSample(id, v);
+  basis->subscribers = 1;
+  bases_.push_back(basis);
+  state.basis = std::move(basis);
+  state.mapping = IdentityMapping::Make();
+  ++stats_.basis_created;
+}
+
+InteractiveTask InteractiveSession::Tick() {
+  ++stats_.ticks;
+  PointState& state = StateFor(focus_);
+  const InteractiveTask task = PickTask(state);
+  std::size_t target = focus_;
+
+  std::vector<std::size_t> candidate_ids;
+  switch (task) {
+    case InteractiveTask::kRefinement: {
+      // Ids not yet in the basis (or not yet evaluated at all).
+      const BasisRecord* basis = state.basis.get();
+      for (std::size_t id = 0;
+           id < config_.max_samples &&
+           candidate_ids.size() < config_.batch_size;
+           ++id) {
+        const bool in_basis =
+            basis != nullptr && basis->samples.count(id) > 0;
+        if (!in_basis && state.own.count(id) == 0) {
+          candidate_ids.push_back(id);
+        }
+      }
+      break;
+    }
+    case InteractiveTask::kValidation: {
+      // Ids in the basis but not in the point's own fingerprint.
+      for (const auto& [id, _] : state.basis->samples) {
+        if (state.own.count(id) == 0) candidate_ids.push_back(id);
+        if (candidate_ids.size() >= config_.batch_size) break;
+      }
+      break;
+    }
+    case InteractiveTask::kExploration: {
+      target = ExploreHeuristic(focus_);
+      PointState& neighbor = StateFor(target);
+      if (neighbor.own.empty()) {
+        for (std::size_t id = 0; id < config_.batch_size; ++id) {
+          candidate_ids.push_back(id);
+        }
+      } else {
+        const BasisRecord* basis = neighbor.basis.get();
+        for (std::size_t id = 0;
+             id < config_.max_samples &&
+             candidate_ids.size() < config_.batch_size;
+             ++id) {
+          const bool in_basis =
+              basis != nullptr && basis->samples.count(id) > 0;
+          if (!in_basis && neighbor.own.count(id) == 0) {
+            candidate_ids.push_back(id);
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  if (!candidate_ids.empty()) EvaluateBatch(target, candidate_ids);
+  return task;
+}
+
+void InteractiveSession::Run(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) Tick();
+}
+
+DisplayEstimate InteractiveSession::EstimateFor(
+    std::size_t point_index) const {
+  DisplayEstimate out;
+  auto it = points_.find(point_index);
+  if (it == points_.end()) return out;
+  const PointState& state = *it->second;
+  if (state.basis != nullptr && state.mapping != nullptr) {
+    const auto affine = state.mapping->AsAffine();
+    if (affine) {
+      const auto [alpha, beta] = *affine;
+      out.mean = alpha * state.basis->acc.mean() + beta;
+      out.std_error = std::fabs(alpha) * state.basis->acc.standard_error();
+      out.support = state.basis->acc.count();
+      out.borrowed = state.basis->subscribers > 1;
+      out.available = true;
+      return out;
+    }
+  }
+  if (!state.own.empty()) {
+    WelfordAccumulator acc;
+    for (const auto& [_, v] : state.own) acc.Add(v);
+    out.mean = acc.mean();
+    out.std_error = acc.standard_error();
+    out.support = acc.count();
+    out.available = true;
+  }
+  return out;
+}
+
+}  // namespace jigsaw

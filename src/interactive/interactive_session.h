@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file interactive_session.h
+/// Online what-if exploration (Section 5, Algorithm 5). The session keeps
+/// per-point state — a progressively grown fingerprint, a basis
+/// distribution and a mapping — and advances in small pick-evaluate-update
+/// ticks so a GUI can repaint between them:
+///
+///  - Refinement: new sample ids for the focused point; results are
+///    mapped *back* into the basis through M^{-1}, so accuracy improves
+///    for every point sharing the basis.
+///  - Validation: re-evaluates sample ids already present in the basis;
+///    the duplicates effectively extend the point's fingerprint. A
+///    mismatch rebinds the point to a new basis.
+///  - Exploration: heuristically picks a neighboring point the user is
+///    likely to visit next and warms its fingerprint/basis.
+///
+/// The display estimate for a point is its mapped basis metric, available
+/// after only a fingerprint-sized number of evaluations — that is the
+/// "initial guess" the paper refines progressively.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/mapping.h"
+#include "core/parameter_space.h"
+#include "core/run_config.h"
+#include "core/sim_function.h"
+#include "random/random_stream.h"
+#include "util/math_util.h"
+#include "util/status.h"
+
+namespace jigsaw {
+
+struct InteractiveConfig {
+  RunConfig run;
+  /// Samples generated per tick (Algorithm 5 uses PickAtRandom(10, ...)).
+  std::size_t batch_size = 10;
+  /// Task mix. Remaining probability mass goes to refinement.
+  double validation_weight = 0.2;
+  double exploration_weight = 0.2;
+  /// Maximum sample ids a basis may accumulate (bounds memory and puts a
+  /// ceiling on refinement work per point).
+  std::size_t max_samples = 1000;
+};
+
+enum class InteractiveTask { kRefinement, kValidation, kExploration };
+
+const char* InteractiveTaskName(InteractiveTask task);
+
+struct DisplayEstimate {
+  double mean = 0.0;
+  double std_error = 0.0;
+  std::int64_t support = 0;  ///< samples behind the estimate
+  bool borrowed = false;     ///< true if served through a mapped basis
+  bool available = false;    ///< false before any evaluation
+};
+
+struct InteractiveStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t rebinds = 0;       ///< validation failures
+  std::uint64_t basis_created = 0;
+  std::uint64_t borrow_hits = 0;   ///< points served from a shared basis
+};
+
+class InteractiveSession {
+ public:
+  /// Explores `fn` over `space` (one scenario column; run several
+  /// sessions for several columns).
+  InteractiveSession(SimFunctionPtr fn, ParameterSpace space,
+                     const InteractiveConfig& config);
+  ~InteractiveSession();
+
+  InteractiveSession(const InteractiveSession&) = delete;
+  InteractiveSession& operator=(const InteractiveSession&) = delete;
+
+  /// Focuses the user's point of interest (enumeration index within the
+  /// space); subsequent ticks refine it and explore around it.
+  Status SetFocus(std::size_t point_index);
+
+  /// One pick-evaluate-update iteration (Algorithm 5 loop body). Returns
+  /// the task performed.
+  InteractiveTask Tick();
+
+  /// Convenience: run `n` ticks.
+  void Run(std::size_t n);
+
+  /// Current estimate for a point (cheap; no evaluation).
+  DisplayEstimate EstimateFor(std::size_t point_index) const;
+
+  std::size_t focus() const { return focus_; }
+  std::size_t num_points() const;
+  std::size_t basis_count() const;
+  const InteractiveStats& stats() const { return stats_; }
+
+ private:
+  struct BasisRecord;
+  struct PointState;
+
+  PointState& StateFor(std::size_t point_index);
+  InteractiveTask PickTask(const PointState& state);
+  std::size_t ExploreHeuristic(std::size_t point_index);
+  void EvaluateBatch(std::size_t point_index,
+                     const std::vector<std::size_t>& ids);
+  void BindPoint(std::size_t point_index);
+
+  SimFunctionPtr fn_;
+  ParameterSpace space_;
+  InteractiveConfig config_;
+  SeedVector seeds_;
+  RandomStream heuristic_rng_;
+  std::size_t focus_ = 0;
+  std::map<std::size_t, std::unique_ptr<PointState>> points_;
+  std::vector<std::shared_ptr<BasisRecord>> bases_;
+  MappingFinderPtr finder_;
+  InteractiveStats stats_;
+};
+
+}  // namespace jigsaw

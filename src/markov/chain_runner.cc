@@ -1,0 +1,189 @@
+#include "markov/chain_runner.h"
+
+#include <algorithm>
+
+#include "core/fingerprint.h"
+#include "util/logging.h"
+
+namespace jigsaw {
+
+NaiveChainRunner::NaiveChainRunner(const RunConfig& config)
+    : config_(config), seeds_(config.master_seed, config.num_samples) {}
+
+ChainResult NaiveChainRunner::Run(const MarkovProcess& process,
+                                  std::int64_t target) {
+  const std::size_t n = config_.num_samples;
+  ChainResult result;
+  result.final_states.assign(n, process.initial_state());
+  for (std::int64_t step = 1; step <= target; ++step) {
+    for (std::size_t k = 0; k < n; ++k) {
+      result.final_states[k] = process.StepForInstance(
+          result.final_states[k], step, k, seeds_);
+      ++result.stats.step_invocations;
+    }
+  }
+  return result;
+}
+
+MarkovJumpRunner::MarkovJumpRunner(const RunConfig& config,
+                                   MappingFinderPtr finder)
+    : config_(config),
+      finder_(finder ? std::move(finder) : LinearMappingFinder::Make()),
+      seeds_(config.master_seed, config.num_samples) {}
+
+ChainResult MarkovJumpRunner::Run(const MarkovProcess& process,
+                                  std::int64_t target) {
+  const std::size_t n = config_.num_samples;
+  const std::size_t m = std::min(config_.fingerprint_size, n);
+  JIGSAW_CHECK_MSG(m >= 2, "fingerprint size must be >= 2");
+
+  ChainResult result;
+  result.final_states.assign(n, process.initial_state());
+  std::vector<double>& state = result.final_states;
+  ChainRunStats& stats = result.stats;
+
+  std::int64_t anchor = 0;  // absolute step the full state is valid at
+
+  // Estimator fingerprint at an absolute step, anchored at the current
+  // full state.
+  auto estimator_fp = [&](std::int64_t step) {
+    std::vector<double> values(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      values[k] =
+          process.EstimateForInstance(state[k], anchor, step, k, seeds_);
+      ++stats.estimator_invocations;
+    }
+    return Fingerprint(std::move(values));
+  };
+
+  while (anchor < target) {
+    // Honest fingerprint trajectory from the anchor; traj[i] holds the m
+    // instance states at absolute step anchor + i + 1.
+    std::vector<std::vector<double>> traj;
+    std::vector<double> fp_cursor(state.begin(),
+                                  state.begin() + static_cast<long>(m));
+
+    auto advance_fp_to = [&](std::int64_t rel) {
+      while (static_cast<std::int64_t>(traj.size()) < rel) {
+        const std::int64_t abs_step =
+            anchor + static_cast<std::int64_t>(traj.size()) + 1;
+        for (std::size_t k = 0; k < m; ++k) {
+          fp_cursor[k] =
+              process.StepForInstance(fp_cursor[k], abs_step, k, seeds_);
+          ++stats.step_invocations;
+        }
+        traj.push_back(fp_cursor);
+      }
+    };
+
+    // Does the estimator map onto the honest fingerprint at relative
+    // offset `rel`? Returns the mapping or nullptr.
+    auto mapping_at = [&](std::int64_t rel) -> MappingPtr {
+      advance_fp_to(rel);
+      ++stats.checkpoints;
+      const Fingerprint est = estimator_fp(anchor + rel);
+      const Fingerprint real(traj[static_cast<std::size_t>(rel - 1)]);
+      return finder_->Find(est, real, config_.tolerance);
+    };
+
+    const std::int64_t remaining = target - anchor;
+
+    // Exponential ramp: double the checkpoint distance while the
+    // estimator stays mappable (Algorithm 4 lines 3-9).
+    std::int64_t last_valid = 0;
+    MappingPtr last_valid_mapping;
+    std::int64_t probe = 1;
+    std::int64_t first_invalid = -1;
+    while (probe < remaining) {
+      MappingPtr mapping = mapping_at(probe);
+      if (mapping != nullptr) {
+        last_valid = probe;
+        last_valid_mapping = std::move(mapping);
+        probe *= 2;
+      } else {
+        ++stats.mismatches;
+        first_invalid = probe;
+        break;
+      }
+    }
+    if (first_invalid < 0) {
+      // Ramp reached the target without a mismatch: validate the target
+      // itself and finish with one mapped-estimator rebuild (Algorithm 4
+      // lines 6-7).
+      MappingPtr mapping = mapping_at(remaining);
+      if (mapping != nullptr) {
+        for (std::size_t k = 0; k < m; ++k) {
+          state[k] = traj[static_cast<std::size_t>(remaining - 1)][k];
+        }
+        for (std::size_t k = m; k < n; ++k) {
+          state[k] = mapping->Apply(
+              process.EstimateForInstance(state[k], anchor, target, k,
+                                          seeds_));
+          ++stats.estimator_invocations;
+        }
+        ++stats.full_rebuilds;
+        return result;
+      }
+      ++stats.mismatches;
+      first_invalid = remaining;
+    }
+
+    // Binary search for the last mappable step in (last_valid,
+    // first_invalid) (Algorithm 4 line 11).
+    std::int64_t lo = last_valid;
+    std::int64_t hi = first_invalid;
+    while (hi - lo > 1) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      MappingPtr mapping = mapping_at(mid);
+      if (mapping != nullptr) {
+        lo = mid;
+        last_valid_mapping = std::move(mapping);
+      } else {
+        hi = mid;
+      }
+    }
+
+    if (lo == 0) {
+      // The estimator fails immediately: advance the full state by one
+      // honest step (Algorithm 4 line 12) and re-anchor.
+      const std::int64_t abs_step = anchor + 1;
+      for (std::size_t k = 0; k < m; ++k) {
+        state[k] = traj[0][k];  // already stepped honestly
+      }
+      for (std::size_t k = m; k < n; ++k) {
+        state[k] = process.StepForInstance(state[k], abs_step, k, seeds_);
+        ++stats.step_invocations;
+      }
+      anchor = abs_step;
+    } else {
+      // Jump: rebuild the full state at anchor+lo via the mapped
+      // estimator (Algorithm 4 line 13) and re-anchor there.
+      const std::int64_t abs_step = anchor + lo;
+      for (std::size_t k = 0; k < m; ++k) {
+        state[k] = traj[static_cast<std::size_t>(lo - 1)][k];
+      }
+      for (std::size_t k = m; k < n; ++k) {
+        state[k] = last_valid_mapping->Apply(process.EstimateForInstance(
+            state[k], anchor, abs_step, k, seeds_));
+        ++stats.estimator_invocations;
+      }
+      ++stats.full_rebuilds;
+      anchor = abs_step;
+    }
+  }
+  return result;
+}
+
+OutputMetrics ChainOutputMetrics(const MarkovProcess& process,
+                                 const ChainResult& result,
+                                 std::int64_t target, const SeedVector& seeds,
+                                 const RunConfig& config) {
+  Estimator est(config.keep_samples, config.histogram_bins);
+  for (std::size_t k = 0; k < result.final_states.size(); ++k) {
+    est.Add(
+        process.OutputForInstance(result.final_states[k], target, k, seeds));
+  }
+  return est.Finalize();
+}
+
+}  // namespace jigsaw

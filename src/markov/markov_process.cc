@@ -1,0 +1,52 @@
+#include "markov/markov_process.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace jigsaw {
+
+namespace {
+constexpr std::uint64_t kStepTag = 0x6d61726b6f762d73ULL;    // "markov-s"
+constexpr std::uint64_t kOutputTag = 0x6d61726b6f762d6fULL;  // "markov-o"
+}  // namespace
+
+std::uint64_t MarkovStepSalt(std::int64_t step) {
+  return HashCombine(kStepTag, static_cast<std::uint64_t>(step));
+}
+
+std::uint64_t MarkovOutputSalt(std::int64_t step) {
+  return HashCombine(kOutputTag, static_cast<std::uint64_t>(step));
+}
+
+double MarkovProcess::Step(double /*prev_state*/, std::int64_t /*step*/,
+                           RandomStream& /*rng*/) const {
+  JIGSAW_CHECK_MSG(false, "MarkovProcess '"
+                              << name()
+                              << "' overrides neither Step nor "
+                                 "StepForInstance");
+  return 0.0;
+}
+
+double MarkovProcess::StepForInstance(double prev_state, std::int64_t step,
+                                      std::size_t k,
+                                      const SeedVector& seeds) const {
+  RandomStream rng = seeds.StreamFor(k, MarkovStepSalt(step));
+  return Step(prev_state, step, rng);
+}
+
+double MarkovProcess::EstimateForInstance(double anchor_state,
+                                          std::int64_t anchor_step,
+                                          std::int64_t step, std::size_t k,
+                                          const SeedVector& seeds) const {
+  RandomStream rng = seeds.StreamFor(k, MarkovStepSalt(step));
+  return Estimate(anchor_state, anchor_step, step, rng);
+}
+
+double MarkovProcess::OutputForInstance(double state, std::int64_t step,
+                                        std::size_t k,
+                                        const SeedVector& seeds) const {
+  RandomStream rng = seeds.StreamFor(k, MarkovOutputSalt(step));
+  return Output(state, step, rng);
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,109 @@
+#include "pdb/layered_engine.h"
+
+#include "util/logging.h"
+
+namespace jigsaw::pdb {
+
+namespace {
+
+class CachedVGScanNode final : public PlanNode {
+ public:
+  CachedVGScanNode(VGTableFunctionPtr fn, WorldCache* cache)
+      : fn_(std::move(fn)), cache_(cache) {}
+
+  const Schema& schema() const override { return fn_->schema(); }
+
+  Status Open(EvalContext& ctx) override {
+    JIGSAW_CHECK(ctx.seeds != nullptr);
+    JIGSAW_ASSIGN_OR_RETURN(
+        table_, cache_->GetOrGenerate(*fn_, ctx.sample_id, *ctx.seeds));
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= table_->num_rows()) return false;
+    *out = table_->row(pos_++);
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  VGTableFunctionPtr fn_;
+  WorldCache* cache_;
+  const Table* table_ = nullptr;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PlanNodePtr MakeCachedVGScan(VGTableFunctionPtr fn, WorldCache* cache) {
+  return std::make_unique<CachedVGScanNode>(std::move(fn), cache);
+}
+
+Result<LayeredPointResult> LayeredEngine::RunPoint(
+    const PlanFactory& make_plan, std::span<const double> params) {
+  LayeredPointResult result;
+  std::vector<Estimator> estimators;
+  std::vector<std::string> names;
+
+  const std::uint64_t before = world_cache_.generation_count();
+  for (std::size_t world = 0; world < config_.num_samples; ++world) {
+    // Fresh plan per invocation: the layered prototype re-submits the
+    // query to the DBMS for every sampled world.
+    JIGSAW_ASSIGN_OR_RETURN(PlanNodePtr plan, make_plan());
+    ++stats_.plans_built;
+
+    EvalContext ctx;
+    ctx.params = params;
+    ctx.sample_id = world;
+    ctx.seeds = &seeds_;
+    JIGSAW_ASSIGN_OR_RETURN(Table t, ExecuteToTable(*plan, ctx));
+    if (t.num_rows() != 1) {
+      return Status::ExecutionError(
+          "layered query must produce exactly one row per world");
+    }
+
+    // Interop boundary: the result set leaves the "DBMS" as text and is
+    // parsed back in the "client".
+    const std::string wire = t.ToCsv();
+    JIGSAW_ASSIGN_OR_RETURN(Table parsed,
+                            Table::FromCsv(wire, t.schema()));
+    stats_.rows_serialized += parsed.num_rows();
+
+    if (estimators.empty()) {
+      for (std::size_t c = 0; c < parsed.schema().num_columns(); ++c) {
+        names.push_back(parsed.schema().column(c).name);
+        estimators.emplace_back(config_.keep_samples,
+                                config_.histogram_bins);
+      }
+    }
+    const Row& row = parsed.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].IsNumeric()) estimators[c].Add(row[c].AsDouble());
+    }
+  }
+  stats_.worlds_generated += world_cache_.generation_count() - before;
+
+  for (std::size_t c = 0; c < estimators.size(); ++c) {
+    result.columns.emplace(names[c], estimators[c].Finalize());
+  }
+  return result;
+}
+
+Result<std::vector<LayeredPointResult>> LayeredEngine::RunSweep(
+    const PlanFactory& make_plan, const ParameterSpace& space) {
+  std::vector<LayeredPointResult> out;
+  const std::size_t n = space.NumPoints();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto valuation = space.ValuationAt(i);
+    JIGSAW_ASSIGN_OR_RETURN(LayeredPointResult r,
+                            RunPoint(make_plan, valuation));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace jigsaw::pdb

@@ -1,0 +1,45 @@
+#include "pdb/monte_carlo.h"
+
+#include <vector>
+
+namespace jigsaw::pdb {
+
+Result<MonteCarloResult> MonteCarloExecutor::Run(
+    const PlanFactory& make_plan, std::span<const double> params) {
+  MonteCarloResult result;
+  std::vector<Estimator> estimators;
+  std::vector<std::string> names;
+
+  for (std::size_t world = 0; world < config_.num_samples; ++world) {
+    JIGSAW_ASSIGN_OR_RETURN(PlanNodePtr plan, make_plan());
+    EvalContext ctx;
+    ctx.params = params;
+    ctx.sample_id = world;
+    ctx.seeds = &seeds_;
+    JIGSAW_ASSIGN_OR_RETURN(Table t, ExecuteToTable(*plan, ctx));
+    if (t.num_rows() != 1) {
+      return Status::ExecutionError(
+          "Monte Carlo world query must produce exactly one row, got " +
+          std::to_string(t.num_rows()));
+    }
+    if (estimators.empty()) {
+      for (std::size_t c = 0; c < t.schema().num_columns(); ++c) {
+        names.push_back(t.schema().column(c).name);
+        estimators.emplace_back(config_.keep_samples,
+                                config_.histogram_bins);
+      }
+    }
+    const Row& row = t.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].IsNumeric()) estimators[c].Add(row[c].AsDouble());
+    }
+    ++result.worlds;
+  }
+
+  for (std::size_t c = 0; c < estimators.size(); ++c) {
+    result.columns.emplace(names[c], estimators[c].Finalize());
+  }
+  return result;
+}
+
+}  // namespace jigsaw::pdb

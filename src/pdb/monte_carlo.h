@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file monte_carlo.h
+/// The possible-worlds executor of the mini-MCDB layer (Section 2.1):
+/// "instantiates a finite set of databases by sampling randomly from the
+/// set of possible worlds. Queries are run on each sampled world ... and
+/// the results are aggregated into a metric or binned into a histogram."
+///
+/// The executor runs a caller-supplied per-world query plan n times (one
+/// per sampled world), expects a single result row per world, and folds
+/// each numeric output column into an OutputMetrics distribution summary.
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/run_config.h"
+#include "pdb/operators.h"
+#include "random/seed_vector.h"
+#include "util/status.h"
+
+namespace jigsaw::pdb {
+
+struct MonteCarloResult {
+  /// Per-output-column distribution summaries, keyed by column name.
+  std::map<std::string, OutputMetrics> columns;
+  std::size_t worlds = 0;
+};
+
+class MonteCarloExecutor {
+ public:
+  explicit MonteCarloExecutor(const RunConfig& config)
+      : config_(config), seeds_(config.master_seed, config.num_samples) {}
+
+  /// `make_plan` builds the per-world query plan (the plan may embed
+  /// stochastic expressions and VG scans; the world is selected through
+  /// EvalContext::sample_id). The plan must produce exactly one row.
+  using PlanFactory = std::function<Result<PlanNodePtr>()>;
+
+  Result<MonteCarloResult> Run(const PlanFactory& make_plan,
+                               std::span<const double> params);
+
+  const SeedVector& seeds() const { return seeds_; }
+  const RunConfig& config() const { return config_; }
+
+ private:
+  RunConfig config_;
+  SeedVector seeds_;
+};
+
+}  // namespace jigsaw::pdb

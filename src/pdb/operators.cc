@@ -1,0 +1,548 @@
+#include "pdb/operators.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace jigsaw::pdb {
+
+namespace {
+
+std::uint64_t HashRowKey(const Row& row, const std::vector<std::size_t>& keys) {
+  std::uint64_t h = 0x12345678abcdef01ULL;
+  for (std::size_t k : keys) {
+    h = HashCombine(h, Fnv1a64(row[k].ToString()));
+  }
+  return h;
+}
+
+bool RowKeysEqual(const Row& a, const std::vector<std::size_t>& ka,
+                  const Row& b, const std::vector<std::size_t>& kb) {
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    if (!(a[ka[i]] == b[kb[i]])) return false;
+  }
+  return true;
+}
+
+class TableScanNode final : public PlanNode {
+ public:
+  explicit TableScanNode(const Table* table) : table_(table) {}
+  TableScanNode(Table owned, bool)
+      : owned_(std::move(owned)), table_(&*owned_) {}
+
+  const Schema& schema() const override { return table_->schema(); }
+
+  Status Open(EvalContext&) override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= table_->num_rows()) return false;
+    *out = table_->row(pos_++);
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  std::optional<Table> owned_;
+  const Table* table_;
+  std::size_t pos_ = 0;
+};
+
+class DualScanNode final : public PlanNode {
+ public:
+  DualScanNode() : schema_(std::vector<Column>{}) {}
+
+  const Schema& schema() const override { return schema_; }
+  Status Open(EvalContext&) override {
+    emitted_ = false;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* out) override {
+    if (emitted_) return false;
+    emitted_ = true;
+    out->clear();
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  Schema schema_;
+  bool emitted_ = false;
+};
+
+class FilterNode final : public PlanNode {
+ public:
+  FilterNode(PlanNodePtr input, ExprPtr predicate)
+      : input_(std::move(input)), predicate_(std::move(predicate)) {}
+
+  const Schema& schema() const override { return input_->schema(); }
+
+  Status Open(EvalContext& ctx) override {
+    ctx_ = &ctx;
+    return input_->Open(ctx);
+  }
+
+  Result<bool> Next(Row* out) override {
+    for (;;) {
+      JIGSAW_ASSIGN_OR_RETURN(bool has, input_->Next(out));
+      if (!has) return false;
+      EvalContext local = *ctx_;
+      local.row = out;
+      JIGSAW_ASSIGN_OR_RETURN(Value v, predicate_->Eval(local));
+      if (!v.is_null() && v.AsBool()) return true;
+    }
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  PlanNodePtr input_;
+  ExprPtr predicate_;
+  EvalContext* ctx_ = nullptr;
+};
+
+class ProjectNode final : public PlanNode {
+ public:
+  ProjectNode(PlanNodePtr input, std::vector<ExprPtr> exprs,
+              std::vector<std::string> names)
+      : input_(std::move(input)), exprs_(std::move(exprs)) {
+    std::vector<Column> cols;
+    cols.reserve(names.size());
+    for (auto& n : names) cols.push_back(Column{std::move(n)});
+    schema_ = Schema(std::move(cols));
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  Status Open(EvalContext& ctx) override {
+    ctx_ = &ctx;
+    return input_->Open(ctx);
+  }
+
+  Result<bool> Next(Row* out) override {
+    Row in;
+    JIGSAW_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
+    if (!has) return false;
+    std::vector<Value> aliases;
+    aliases.reserve(exprs_.size());
+    EvalContext local = *ctx_;
+    local.row = &in;
+    local.aliases = &aliases;
+    for (const auto& e : exprs_) {
+      JIGSAW_ASSIGN_OR_RETURN(Value v, e->Eval(local));
+      aliases.push_back(std::move(v));
+    }
+    *out = std::move(aliases);
+    return true;
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  PlanNodePtr input_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+  EvalContext* ctx_ = nullptr;
+};
+
+class NestedLoopJoinNode final : public PlanNode {
+ public:
+  NestedLoopJoinNode(PlanNodePtr left, PlanNodePtr right, ExprPtr predicate)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        predicate_(std::move(predicate)),
+        schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+  const Schema& schema() const override { return schema_; }
+
+  Status Open(EvalContext& ctx) override {
+    ctx_ = &ctx;
+    JIGSAW_RETURN_IF_ERROR(right_->Open(ctx));
+    // Materialize the inner side once.
+    right_rows_.clear();
+    Row r;
+    for (;;) {
+      auto has = right_->Next(&r);
+      if (!has.ok()) return has.status();
+      if (!has.value()) break;
+      right_rows_.push_back(r);
+    }
+    right_->Close();
+    JIGSAW_RETURN_IF_ERROR(left_->Open(ctx));
+    have_left_ = false;
+    right_pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    for (;;) {
+      if (!have_left_) {
+        JIGSAW_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+        if (!has) return false;
+        have_left_ = true;
+        right_pos_ = 0;
+      }
+      while (right_pos_ < right_rows_.size()) {
+        Row combined = left_row_;
+        const Row& rr = right_rows_[right_pos_++];
+        combined.insert(combined.end(), rr.begin(), rr.end());
+        EvalContext local = *ctx_;
+        local.row = &combined;
+        JIGSAW_ASSIGN_OR_RETURN(Value v, predicate_->Eval(local));
+        if (!v.is_null() && v.AsBool()) {
+          *out = std::move(combined);
+          return true;
+        }
+      }
+      have_left_ = false;
+    }
+  }
+
+  void Close() override { left_->Close(); }
+
+ private:
+  PlanNodePtr left_;
+  PlanNodePtr right_;
+  ExprPtr predicate_;
+  Schema schema_;
+  EvalContext* ctx_ = nullptr;
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  bool have_left_ = false;
+  std::size_t right_pos_ = 0;
+};
+
+class HashJoinNode final : public PlanNode {
+ public:
+  HashJoinNode(PlanNodePtr left, PlanNodePtr right,
+               std::vector<std::size_t> left_keys,
+               std::vector<std::size_t> right_keys)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        schema_(Schema::Concat(left_->schema(), right_->schema())) {
+    JIGSAW_CHECK(left_keys_.size() == right_keys_.size());
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  Status Open(EvalContext& ctx) override {
+    // Build side: right input.
+    JIGSAW_RETURN_IF_ERROR(right_->Open(ctx));
+    build_.clear();
+    Row r;
+    for (;;) {
+      auto has = right_->Next(&r);
+      if (!has.ok()) return has.status();
+      if (!has.value()) break;
+      build_[HashRowKey(r, right_keys_)].push_back(r);
+    }
+    right_->Close();
+    JIGSAW_RETURN_IF_ERROR(left_->Open(ctx));
+    have_left_ = false;
+    bucket_ = nullptr;
+    bucket_pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    for (;;) {
+      if (!have_left_) {
+        JIGSAW_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+        if (!has) return false;
+        have_left_ = true;
+        auto it = build_.find(HashRowKey(left_row_, left_keys_));
+        bucket_ = it == build_.end() ? nullptr : &it->second;
+        bucket_pos_ = 0;
+      }
+      if (bucket_ != nullptr) {
+        while (bucket_pos_ < bucket_->size()) {
+          const Row& rr = (*bucket_)[bucket_pos_++];
+          if (!RowKeysEqual(left_row_, left_keys_, rr, right_keys_)) {
+            continue;  // hash collision
+          }
+          *out = left_row_;
+          out->insert(out->end(), rr.begin(), rr.end());
+          return true;
+        }
+      }
+      have_left_ = false;
+    }
+  }
+
+  void Close() override { left_->Close(); }
+
+ private:
+  PlanNodePtr left_;
+  PlanNodePtr right_;
+  std::vector<std::size_t> left_keys_;
+  std::vector<std::size_t> right_keys_;
+  Schema schema_;
+  std::unordered_map<std::uint64_t, std::vector<Row>> build_;
+  Row left_row_;
+  bool have_left_ = false;
+  const std::vector<Row>* bucket_ = nullptr;
+  std::size_t bucket_pos_ = 0;
+};
+
+struct AggState {
+  double sum = 0.0;
+  std::int64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+class HashAggregateNode final : public PlanNode {
+ public:
+  HashAggregateNode(PlanNodePtr input, std::vector<ExprPtr> group_exprs,
+                    std::vector<std::string> group_names,
+                    std::vector<AggSpec> aggs)
+      : input_(std::move(input)),
+        group_exprs_(std::move(group_exprs)),
+        aggs_(std::move(aggs)) {
+    std::vector<Column> cols;
+    for (auto& n : group_names) cols.push_back(Column{std::move(n)});
+    for (const auto& a : aggs_) cols.push_back(Column{a.name});
+    schema_ = Schema(std::move(cols));
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  Status Open(EvalContext& ctx) override {
+    JIGSAW_RETURN_IF_ERROR(input_->Open(ctx));
+    groups_.clear();
+    order_.clear();
+    Row in;
+    for (;;) {
+      auto has = input_->Next(&in);
+      if (!has.ok()) return has.status();
+      if (!has.value()) break;
+      EvalContext local = ctx;
+      local.row = &in;
+      Row key;
+      key.reserve(group_exprs_.size());
+      for (const auto& g : group_exprs_) {
+        auto v = g->Eval(local);
+        if (!v.ok()) return v.status();
+        key.push_back(std::move(v).value());
+      }
+      std::string key_str;
+      for (const auto& k : key) {
+        key_str += k.ToString();
+        key_str += '\x1f';
+      }
+      auto [it, inserted] = groups_.try_emplace(key_str);
+      if (inserted) {
+        it->second.key = std::move(key);
+        it->second.states.resize(aggs_.size());
+        order_.push_back(&it->second);
+      }
+      for (std::size_t i = 0; i < aggs_.size(); ++i) {
+        AggState& st = it->second.states[i];
+        double x = 1.0;
+        if (aggs_[i].arg) {
+          auto v = aggs_[i].arg->Eval(local);
+          if (!v.ok()) return v.status();
+          if (v.value().is_null()) continue;
+          x = v.value().AsDouble();
+        }
+        st.sum += x;
+        ++st.count;
+        st.min = std::min(st.min, x);
+        st.max = std::max(st.max, x);
+      }
+    }
+    input_->Close();
+    // Global aggregate over empty input still yields one row.
+    if (group_exprs_.empty() && groups_.empty()) {
+      auto [it, _] = groups_.try_emplace("");
+      it->second.states.resize(aggs_.size());
+      order_.push_back(&it->second);
+    }
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= order_.size()) return false;
+    const Group& g = *order_[pos_++];
+    *out = g.key;
+    for (std::size_t i = 0; i < aggs_.size(); ++i) {
+      const AggState& st = g.states[i];
+      switch (aggs_[i].kind) {
+        case AggKind::kCount:
+          out->push_back(Value(st.count));
+          break;
+        case AggKind::kSum:
+          out->push_back(Value(st.sum));
+          break;
+        case AggKind::kAvg:
+          out->push_back(st.count ? Value(st.sum / st.count) : Value::Null());
+          break;
+        case AggKind::kMin:
+          out->push_back(st.count ? Value(st.min) : Value::Null());
+          break;
+        case AggKind::kMax:
+          out->push_back(st.count ? Value(st.max) : Value::Null());
+          break;
+      }
+    }
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  struct Group {
+    Row key;
+    std::vector<AggState> states;
+  };
+
+  PlanNodePtr input_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+  std::unordered_map<std::string, Group> groups_;
+  std::vector<const Group*> order_;
+  std::size_t pos_ = 0;
+};
+
+class SortNode final : public PlanNode {
+ public:
+  SortNode(PlanNodePtr input, std::vector<SortKey> keys)
+      : input_(std::move(input)), keys_(std::move(keys)) {}
+
+  const Schema& schema() const override { return input_->schema(); }
+
+  Status Open(EvalContext& ctx) override {
+    JIGSAW_RETURN_IF_ERROR(input_->Open(ctx));
+    rows_.clear();
+    Row r;
+    for (;;) {
+      auto has = input_->Next(&r);
+      if (!has.ok()) return has.status();
+      if (!has.value()) break;
+      rows_.push_back(std::move(r));
+      r = Row{};
+    }
+    input_->Close();
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (const auto& k : keys_) {
+                         const int c = Value::Compare(a[k.column], b[k.column]);
+                         if (c != 0) return k.ascending ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  PlanNodePtr input_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  std::size_t pos_ = 0;
+};
+
+class LimitNode final : public PlanNode {
+ public:
+  LimitNode(PlanNodePtr input, std::size_t limit)
+      : input_(std::move(input)), limit_(limit) {}
+
+  const Schema& schema() const override { return input_->schema(); }
+
+  Status Open(EvalContext& ctx) override {
+    produced_ = 0;
+    return input_->Open(ctx);
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (produced_ >= limit_) return false;
+    JIGSAW_ASSIGN_OR_RETURN(bool has, input_->Next(out));
+    if (!has) return false;
+    ++produced_;
+    return true;
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  PlanNodePtr input_;
+  std::size_t limit_;
+  std::size_t produced_ = 0;
+};
+
+}  // namespace
+
+PlanNodePtr MakeTableScan(const Table* table) {
+  return std::make_unique<TableScanNode>(table);
+}
+PlanNodePtr MakeOwnedTableScan(Table table) {
+  return std::make_unique<TableScanNode>(std::move(table), true);
+}
+PlanNodePtr MakeDualScan() { return std::make_unique<DualScanNode>(); }
+PlanNodePtr MakeFilter(PlanNodePtr input, ExprPtr predicate) {
+  return std::make_unique<FilterNode>(std::move(input), std::move(predicate));
+}
+PlanNodePtr MakeProject(PlanNodePtr input, std::vector<ExprPtr> exprs,
+                        std::vector<std::string> names) {
+  return std::make_unique<ProjectNode>(std::move(input), std::move(exprs),
+                                       std::move(names));
+}
+PlanNodePtr MakeNestedLoopJoin(PlanNodePtr left, PlanNodePtr right,
+                               ExprPtr predicate) {
+  return std::make_unique<NestedLoopJoinNode>(
+      std::move(left), std::move(right), std::move(predicate));
+}
+PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right,
+                         std::vector<std::size_t> left_keys,
+                         std::vector<std::size_t> right_keys) {
+  return std::make_unique<HashJoinNode>(std::move(left), std::move(right),
+                                        std::move(left_keys),
+                                        std::move(right_keys));
+}
+PlanNodePtr MakeHashAggregate(PlanNodePtr input,
+                              std::vector<ExprPtr> group_exprs,
+                              std::vector<std::string> group_names,
+                              std::vector<AggSpec> aggs) {
+  return std::make_unique<HashAggregateNode>(
+      std::move(input), std::move(group_exprs), std::move(group_names),
+      std::move(aggs));
+}
+PlanNodePtr MakeSort(PlanNodePtr input, std::vector<SortKey> keys) {
+  return std::make_unique<SortNode>(std::move(input), std::move(keys));
+}
+PlanNodePtr MakeLimit(PlanNodePtr input, std::size_t limit) {
+  return std::make_unique<LimitNode>(std::move(input), limit);
+}
+
+Result<Table> ExecuteToTable(PlanNode& plan, EvalContext& ctx) {
+  JIGSAW_RETURN_IF_ERROR(plan.Open(ctx));
+  Table out(plan.schema());
+  Row row;
+  for (;;) {
+    JIGSAW_ASSIGN_OR_RETURN(bool has, plan.Next(&row));
+    if (!has) break;
+    out.AddRow(std::move(row));
+    row = Row{};
+  }
+  plan.Close();
+  return out;
+}
+
+}  // namespace jigsaw::pdb

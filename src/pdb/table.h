@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file table.h
+/// Schema, Row and Table — the materialized relational primitives of the
+/// mini-MCDB layer, plus a catalog mapping names to tables (deterministic
+/// databases) or VG table functions (uncertain tables realized per world).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pdb/value.h"
+#include "util/status.h"
+
+namespace jigsaw::pdb {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kDouble;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  std::size_t num_columns() const { return columns_.size(); }
+  const Column& column(std::size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Case-insensitive column lookup.
+  Result<std::size_t> IndexOf(const std::string& name) const;
+
+  /// Concatenation (used by joins).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  const Row& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  void AddRow(Row row);
+  void Reserve(std::size_t n) { rows_.reserve(n); }
+
+  /// Extracts one numeric column as doubles (estimator input).
+  Result<std::vector<double>> NumericColumn(const std::string& name) const;
+
+  /// CSV round trip; the layered engine pushes result sets through this
+  /// boundary to model the external-process interop of the C#/SQL-Server
+  /// prototype.
+  std::string ToCsv() const;
+  static Result<Table> FromCsv(const std::string& text, const Schema& schema);
+
+  std::string ToString(std::size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace jigsaw::pdb

@@ -1,0 +1,204 @@
+#include "pdb/value.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jigsaw::pdb {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kBool;
+    case 4:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+std::int64_t Value::AsInt() const {
+  JIGSAW_CHECK_MSG(std::holds_alternative<std::int64_t>(v_),
+                   "Value is not INT");
+  return std::get<std::int64_t>(v_);
+}
+
+double Value::AsDouble() const {
+  if (const auto* d = std::get_if<double>(&v_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* b = std::get_if<bool>(&v_)) return *b ? 1.0 : 0.0;
+  JIGSAW_CHECK_MSG(false, "Value is not numeric");
+  return 0.0;
+}
+
+bool Value::AsBool() const {
+  if (const auto* b = std::get_if<bool>(&v_)) return *b;
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return *i != 0;
+  if (const auto* d = std::get_if<double>(&v_)) return *d != 0.0;
+  JIGSAW_CHECK_MSG(false, "Value is not coercible to BOOL");
+  return false;
+}
+
+const std::string& Value::AsString() const {
+  JIGSAW_CHECK_MSG(std::holds_alternative<std::string>(v_),
+                   "Value is not STRING");
+  return std::get<std::string>(v_);
+}
+
+bool Value::IsNumeric() const {
+  const ValueType t = type();
+  return t == ValueType::kInt || t == ValueType::kDouble ||
+         t == ValueType::kBool;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<std::int64_t>(v_));
+    case ValueType::kDouble:
+      return DoubleToString(std::get<double>(v_));
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? "true" : "false";
+    case ValueType::kString:
+      return std::get<std::string>(v_);
+  }
+  return "";
+}
+
+Result<Value> Value::Parse(const std::string& text, ValueType as) {
+  switch (as) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str()) {
+        return Status::ParseError("bad INT literal: " + text);
+      }
+      return Value(static_cast<std::int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str()) {
+        return Status::ParseError("bad DOUBLE literal: " + text);
+      }
+      return Value(v);
+    }
+    case ValueType::kBool:
+      if (EqualsIgnoreCase(text, "true")) return Value(true);
+      if (EqualsIgnoreCase(text, "false")) return Value(false);
+      return Status::ParseError("bad BOOL literal: " + text);
+    case ValueType::kString:
+      return Value(text);
+  }
+  return Status::ParseError("unknown value type");
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type() != other.type()) {
+    if (IsNumeric() && other.IsNumeric()) {
+      return AsDouble() == other.AsDouble();
+    }
+    return false;
+  }
+  return v_ == other.v_;
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return a.is_null() ? -1 : 1;
+  }
+  if (a.IsNumeric() && b.IsNumeric()) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    return a.AsString().compare(b.AsString()) < 0
+               ? -1
+               : (a.AsString() == b.AsString() ? 0 : 1);
+  }
+  // Mixed incomparable types: order by type id for determinism.
+  return static_cast<int>(a.type()) < static_cast<int>(b.type()) ? -1 : 1;
+}
+
+namespace {
+Result<Value> NumericOp(const Value& a, const Value& b, char op) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.IsNumeric() || !b.IsNumeric()) {
+    return Status::ExecutionError(
+        std::string("non-numeric operand to '") + op + "'");
+  }
+  const bool both_int =
+      a.type() == ValueType::kInt && b.type() == ValueType::kInt;
+  if (both_int && op != '/') {
+    const std::int64_t x = a.AsInt();
+    const std::int64_t y = b.AsInt();
+    switch (op) {
+      case '+':
+        return Value(x + y);
+      case '-':
+        return Value(x - y);
+      case '*':
+        return Value(x * y);
+    }
+  }
+  const double x = a.AsDouble();
+  const double y = b.AsDouble();
+  switch (op) {
+    case '+':
+      return Value(x + y);
+    case '-':
+      return Value(x - y);
+    case '*':
+      return Value(x * y);
+    case '/':
+      if (y == 0.0) return Status::ExecutionError("division by zero");
+      return Value(x / y);
+  }
+  return Status::Internal("unknown arithmetic op");
+}
+}  // namespace
+
+Result<Value> Add(const Value& a, const Value& b) {
+  return NumericOp(a, b, '+');
+}
+Result<Value> Subtract(const Value& a, const Value& b) {
+  return NumericOp(a, b, '-');
+}
+Result<Value> Multiply(const Value& a, const Value& b) {
+  return NumericOp(a, b, '*');
+}
+Result<Value> Divide(const Value& a, const Value& b) {
+  return NumericOp(a, b, '/');
+}
+
+}  // namespace jigsaw::pdb

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file value.h
+/// Typed runtime values for the mini-MCDB layer. A traditional PDB stores
+/// relational data; sampled possible worlds are ordinary tables, so the
+/// Volcano operators below work over boxed Values (the layered prototype
+/// of Figure 7 pays for this boxing on every row — deliberately).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace jigsaw::pdb {
+
+enum class ValueType { kNull, kInt, kDouble, kBool, kString };
+
+const char* ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(std::int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(bool v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  std::int64_t AsInt() const;
+  double AsDouble() const;  ///< numeric coercion (int/bool/double)
+  bool AsBool() const;
+  const std::string& AsString() const;
+
+  /// True if the value is int, double or bool (coercible to double).
+  bool IsNumeric() const;
+
+  /// Serialization used at the layered engine's interop boundary and by
+  /// the CSV helpers.
+  std::string ToString() const;
+  static Result<Value> Parse(const std::string& text, ValueType as);
+
+  bool operator==(const Value& other) const;
+
+  /// Three-way comparison for ORDER BY / join keys: null < everything;
+  /// numerics compare as double; strings lexicographically.
+  static int Compare(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, bool, std::string> v_;
+};
+
+/// Arithmetic with SQL-ish promotion (int op int -> int except '/', which
+/// is double; anything with double -> double). Nulls propagate.
+Result<Value> Add(const Value& a, const Value& b);
+Result<Value> Subtract(const Value& a, const Value& b);
+Result<Value> Multiply(const Value& a, const Value& b);
+Result<Value> Divide(const Value& a, const Value& b);
+
+}  // namespace jigsaw::pdb

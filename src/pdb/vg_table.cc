@@ -1,0 +1,86 @@
+#include "pdb/vg_table.h"
+
+#include "models/cloud_models.h"
+#include "util/hash.h"
+
+namespace jigsaw::pdb {
+
+Result<const Table*> WorldCache::GetOrGenerate(const VGTableFunction& fn,
+                                               std::size_t sample_id,
+                                               const SeedVector& seeds) {
+  const auto key = std::make_pair(fn.name(), sample_id);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return &it->second;
+  JIGSAW_ASSIGN_OR_RETURN(Table t, fn.Generate(sample_id, seeds));
+  ++generations_;
+  auto [inserted, _] = cache_.emplace(key, std::move(t));
+  return &inserted->second;
+}
+
+namespace {
+
+constexpr std::uint64_t kUsersTableSalt = 0x75736572732d7667ULL;  // users-vg
+
+class UsersVGTable final : public VGTableFunction {
+ public:
+  UsersVGTable(int num_users, double arrival_rate, double base_demand,
+               double spread, int sim_depth)
+      : num_users_(num_users),
+        arrival_rate_(arrival_rate),
+        base_demand_(base_demand),
+        spread_(spread),
+        sim_depth_(sim_depth),
+        name_("users"),
+        schema_(std::vector<Column>{{"user_id", ValueType::kInt},
+                                    {"signup_week", ValueType::kDouble},
+                                    {"requirement", ValueType::kDouble}}) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<Table> Generate(std::size_t sample_id,
+                         const SeedVector& seeds) const override {
+    Table out(schema_);
+    out.Reserve(static_cast<std::size_t>(num_users_));
+    RandomStream rng = seeds.StreamFor(sample_id, kUsersTableSalt);
+    for (int u = 0; u < num_users_; ++u) {
+      double signup = 0.0, base = 0.0;
+      // Same deterministic population as the UserSelection black box, so
+      // both engines of Figure 7 simulate the same scenario.
+      jigsaw::DeriveUserProfile(u, arrival_rate_, base_demand_, &signup,
+                                &base);
+      double peak = 0.0;
+      for (int d = 0; d < sim_depth_; ++d) {
+        peak = std::max(peak, rng.LogNormal(0.0, spread_));
+      }
+      const double requirement = base * peak;
+      Row row;
+      row.reserve(3);
+      row.emplace_back(static_cast<std::int64_t>(u));
+      row.emplace_back(signup);
+      row.emplace_back(requirement);
+      out.AddRow(std::move(row));
+    }
+    return out;
+  }
+
+ private:
+  int num_users_;
+  double arrival_rate_;
+  double base_demand_;
+  double spread_;
+  int sim_depth_;
+  std::string name_;
+  Schema schema_;
+};
+
+}  // namespace
+
+VGTableFunctionPtr MakeUsersVGTable(int num_users, double arrival_rate,
+                                    double base_demand, double spread,
+                                    int sim_depth) {
+  return std::make_shared<UsersVGTable>(num_users, arrival_rate, base_demand,
+                                        spread, sim_depth);
+}
+
+}  // namespace jigsaw::pdb

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file vg_table.h
+/// VG-function tables: the MCDB mechanism by which uncertain relations are
+/// realized. "Each random table ... is represented on disk by its schema,
+/// together with a set of black-box functions that are used to generate
+/// realizations of uncertain attribute values" (Section 2.3). A
+/// VGTableFunction generates one realization (one possible world's
+/// instance) of its table for a given sample; a WorldCache memoizes
+/// realizations per (table, sample) so that set-oriented engines touch the
+/// generator once per world — the data-management advantage the paper's
+/// SQL Server prototype shows on UserSelection (Figure 7).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pdb/table.h"
+#include "random/seed_vector.h"
+#include "util/status.h"
+
+namespace jigsaw::pdb {
+
+class VGTableFunction {
+ public:
+  virtual ~VGTableFunction() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const Schema& schema() const = 0;
+
+  /// Generates the realization of this table in possible world
+  /// `sample_id`. Randomness must derive from (seeds, sample_id) only.
+  virtual Result<Table> Generate(std::size_t sample_id,
+                                 const SeedVector& seeds) const = 0;
+};
+
+using VGTableFunctionPtr = std::shared_ptr<const VGTableFunction>;
+
+/// Memoizes realizations per (table name, sample id).
+class WorldCache {
+ public:
+  /// Returns the cached realization, generating it on first use.
+  Result<const Table*> GetOrGenerate(const VGTableFunction& fn,
+                                     std::size_t sample_id,
+                                     const SeedVector& seeds);
+
+  std::size_t size() const { return cache_.size(); }
+  std::uint64_t generation_count() const { return generations_; }
+  void Clear() { cache_.clear(); }
+
+ private:
+  std::map<std::pair<std::string, std::size_t>, Table> cache_;
+  std::uint64_t generations_ = 0;
+};
+
+/// The synthetic user-population VG table behind the UserSelection
+/// workload: one row per user with columns
+///   (user_id INT, signup_week DOUBLE, requirement DOUBLE)
+/// where `requirement` is the stochastic per-user demand draw for this
+/// world (the peak of `sim_depth` intra-week usage draws) and the other
+/// attributes are deterministic population data.
+VGTableFunctionPtr MakeUsersVGTable(int num_users, double arrival_rate,
+                                    double base_demand, double spread,
+                                    int sim_depth = 16);
+
+}  // namespace jigsaw::pdb

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file random_stream.h
+/// RandomStream is the single source of randomness handed to black-box
+/// functions. All distribution algorithms are implemented explicitly (no
+/// std::*_distribution) so that a given seed produces bit-identical sample
+/// sequences on every platform — the property fingerprints depend on.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "random/xoshiro256.h"
+
+namespace jigsaw {
+
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform 64-bit word.
+  std::uint64_t NextUint64() { return engine_.Next(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); rejection-free Lemire-style
+  /// reduction is avoided in favor of a simple modulo — bias is negligible
+  /// for the small ranges used here and determinism is simpler to audit.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via the trigonometric Box-Muller transform. Both
+  /// variates are computed and one is discarded: the stream then advances
+  /// by a fixed amount per call, which keeps call sites independent of
+  /// previous Gaussian parity (no cached spare).
+  double Gaussian();
+
+  /// Normal with the given mean/stddev.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Exponential with rate lambda (mean 1/lambda) by inversion.
+  double Exponential(double lambda);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Poisson. Knuth's product method for small means; for mean >= 30 a
+  /// normal approximation with continuity correction (adequate for the
+  /// workload models and fully deterministic).
+  std::int64_t Poisson(double mean);
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  std::int64_t Geometric(double p);
+
+  /// Samples an index proportionally to non-negative `weights`.
+  std::size_t Discrete(const std::vector<double>& weights);
+
+  /// Gamma(shape k, scale theta) via Marsaglia-Tsang squeeze (k >= 1) and
+  /// the boost trick for k < 1. Deterministic given the stream.
+  double Gamma(double shape, double scale);
+
+  /// LogNormal with the given parameters of the underlying normal.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+ private:
+  Xoshiro256 engine_;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file seed_vector.h
+/// The global seed vector {sigma_k} of Section 3.1. Jigsaw fixes one
+/// sequence of seeds at initialization and uses seed sigma_k for the k'th
+/// Monte Carlo sample of *every* parameter point. The fingerprint of a
+/// point is its first m outputs; because the same seeds are used
+/// everywhere, correlated points produce deterministically mappable
+/// fingerprints.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "random/philox.h"
+#include "random/random_stream.h"
+#include "random/splitmix64.h"
+
+namespace jigsaw {
+
+class SeedVector {
+ public:
+  /// Expands `master_seed` into `count` sample seeds.
+  SeedVector(std::uint64_t master_seed, std::size_t count)
+      : master_seed_(master_seed) {
+    seeds_.reserve(count);
+    SplitMix64 sm(master_seed);
+    for (std::size_t i = 0; i < count; ++i) seeds_.push_back(sm.Next());
+  }
+
+  std::uint64_t master_seed() const { return master_seed_; }
+  std::size_t size() const { return seeds_.size(); }
+  std::uint64_t seed(std::size_t k) const { return seeds_[k]; }
+
+  /// Extends the vector (interactive mode grows fingerprints lazily).
+  void EnsureSize(std::size_t count) {
+    if (count <= seeds_.size()) return;
+    SplitMix64 sm(master_seed_ ^ 0xabcdef1234567890ULL ^ seeds_.size());
+    while (seeds_.size() < count) seeds_.push_back(sm.Next());
+  }
+
+  /// Builds the deterministic stream for sample k at black-box call site
+  /// `call_site`. The same (k, call_site) pair always yields the same
+  /// stream regardless of evaluation order or thread scheduling.
+  RandomStream StreamFor(std::size_t k, std::uint64_t call_site) const {
+    return RandomStream(DeriveStreamSeed(seeds_[k], call_site));
+  }
+
+ private:
+  std::uint64_t master_seed_;
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace jigsaw

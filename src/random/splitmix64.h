@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file splitmix64.h
+/// SplitMix64 (Steele, Lea, Flood 2014): a tiny, fast, well-distributed
+/// 64-bit generator. Used to expand a single master seed into the global
+/// seed vector {sigma_k} and to seed larger-state engines.
+
+#include <cstdint>
+
+namespace jigsaw {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file ast.h
+/// Parse-level AST for the Jigsaw query language. The grammar covers the
+/// paper's surface syntax:
+///
+///   DECLARE PARAMETER @p AS RANGE lo TO hi STEP BY s;
+///   DECLARE PARAMETER @p AS SET (v1, v2, ...);
+///   DECLARE PARAMETER @p AS CHAIN col FROM @driver : expr
+///                         INITIAL VALUE v;                  -- Figure 5
+///   SELECT expr AS alias, ... [FROM (SELECT ...)] INTO results;
+///   OPTIMIZE SELECT @p, ... FROM results
+///     WHERE MAX(EXPECT col) < 0.01 [AND ...]
+///     GROUP BY p, ...
+///     FOR MAX @p1, MIN @p2;                                 -- Figure 1
+///   GRAPH OVER @p EXPECT col WITH style..., ...;            -- Section 2.2
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jigsaw::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+enum class AstExprKind {
+  kNumber,
+  kString,
+  kIdent,     ///< column / alias reference
+  kParam,     ///< @parameter reference
+  kCall,      ///< Model(args...)
+  kBinary,
+  kNot,
+  kNegate,
+  kCase,
+};
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kNumber;
+  // kNumber
+  double number = 0.0;
+  // kString / kIdent / kParam / kCall (callee) / kBinary (operator text)
+  std::string text;
+  // kCall args, kBinary {lhs, rhs}, kNot/kNegate {operand},
+  // kCase: pairs flattened as [when1, then1, when2, then2, ...] with
+  // else_expr kept separately.
+  std::vector<AstExprPtr> children;
+  AstExprPtr else_expr;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct RangeSpecAst {
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 1.0;
+};
+
+struct SetSpecAst {
+  std::vector<double> values;
+};
+
+struct ChainSpecAst {
+  std::string column;        ///< result column chained back
+  std::string driver_param;  ///< @driver
+  AstExprPtr source_step;    ///< e.g. @current_week - 1
+  double initial = 0.0;
+};
+
+struct DeclareStmt {
+  std::string param;
+  std::optional<RangeSpecAst> range;
+  std::optional<SetSpecAst> set;
+  std::optional<ChainSpecAst> chain;
+};
+
+struct SelectItemAst {
+  AstExprPtr expr;
+  std::string alias;  ///< empty -> synthesized from the expression
+};
+
+struct SelectStmt {
+  std::vector<SelectItemAst> items;
+  std::unique_ptr<SelectStmt> from_subquery;  ///< FROM (SELECT ...)
+  std::string into_table;                     ///< INTO name ("" if absent)
+};
+
+struct ConstraintAst {
+  std::string sweep_agg;  ///< MAX/MIN/AVG/SUM ("" -> MAX default)
+  std::string metric;     ///< EXPECT / EXPECT_STDDEV / MEDIAN / P95 / ...
+  std::string column;
+  std::string cmp;        ///< < <= > >=
+  double threshold = 0.0;
+};
+
+struct ObjectiveAst {
+  std::string param;
+  bool maximize = true;
+};
+
+struct OptimizeStmt {
+  std::vector<std::string> select_params;
+  std::string from_table;
+  std::vector<ConstraintAst> constraints;
+  std::vector<std::string> group_by;
+  std::vector<ObjectiveAst> objectives;
+};
+
+struct GraphSeriesAst {
+  std::string metric;
+  std::string column;
+  std::vector<std::string> style;  ///< WITH words, kept verbatim
+};
+
+struct GraphStmt {
+  std::string x_param;
+  std::vector<GraphSeriesAst> series;
+};
+
+struct Statement {
+  // Exactly one is set.
+  std::unique_ptr<DeclareStmt> declare;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<OptimizeStmt> optimize;
+  std::unique_ptr<GraphStmt> graph;
+};
+
+struct Script {
+  std::vector<Statement> statements;
+};
+
+}  // namespace jigsaw::sql

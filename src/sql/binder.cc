@@ -1,0 +1,506 @@
+#include "sql/binder.h"
+
+#include "sql/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jigsaw::sql {
+
+namespace {
+
+using pdb::BinaryOp;
+using pdb::EvalContext;
+using pdb::ExprPtr;
+using pdb::Value;
+
+Result<BinaryOp> BinaryOpFromText(const std::string& op) {
+  if (op == "+") return BinaryOp::kAdd;
+  if (op == "-") return BinaryOp::kSub;
+  if (op == "*") return BinaryOp::kMul;
+  if (op == "/") return BinaryOp::kDiv;
+  if (op == "<") return BinaryOp::kLt;
+  if (op == "<=") return BinaryOp::kLe;
+  if (op == ">") return BinaryOp::kGt;
+  if (op == ">=") return BinaryOp::kGe;
+  if (op == "=") return BinaryOp::kEq;
+  if (op == "<>") return BinaryOp::kNe;
+  if (EqualsIgnoreCase(op, "AND")) return BinaryOp::kAnd;
+  if (EqualsIgnoreCase(op, "OR")) return BinaryOp::kOr;
+  return Status::BindError("unknown operator '" + op + "'");
+}
+
+Result<MetricSelector> MetricFromText(const std::string& metric) {
+  if (EqualsIgnoreCase(metric, "EXPECT")) return MetricSelector::kExpect;
+  if (EqualsIgnoreCase(metric, "EXPECT_STDDEV")) {
+    return MetricSelector::kStdDev;
+  }
+  if (EqualsIgnoreCase(metric, "STDERR")) return MetricSelector::kStdError;
+  if (EqualsIgnoreCase(metric, "MEDIAN")) return MetricSelector::kMedian;
+  if (EqualsIgnoreCase(metric, "P95")) return MetricSelector::kP95;
+  return Status::BindError("unknown metric '" + metric + "'");
+}
+
+Result<SweepAgg> SweepAggFromText(const std::string& agg) {
+  if (agg.empty() || EqualsIgnoreCase(agg, "MAX")) return SweepAgg::kMax;
+  if (EqualsIgnoreCase(agg, "MIN")) return SweepAgg::kMin;
+  if (EqualsIgnoreCase(agg, "AVG")) return SweepAgg::kAvg;
+  if (EqualsIgnoreCase(agg, "SUM")) return SweepAgg::kSum;
+  return Status::BindError("unknown sweep aggregate '" + agg + "'");
+}
+
+Result<CmpOp> CmpFromText(const std::string& cmp) {
+  if (cmp == "<") return CmpOp::kLt;
+  if (cmp == "<=") return CmpOp::kLe;
+  if (cmp == ">") return CmpOp::kGt;
+  if (cmp == ">=") return CmpOp::kGe;
+  return Status::BindError("unknown comparison '" + cmp + "'");
+}
+
+/// Compilation scope for one SELECT level.
+struct ExprScope {
+  const ParameterSpace* params = nullptr;
+  /// Columns of the FROM subquery (resolve to ColumnRef).
+  const std::vector<std::string>* input_columns = nullptr;
+  /// Aliases of items already compiled at this level (AliasRef).
+  const std::vector<std::string>* visible_aliases = nullptr;
+};
+
+class ExprCompiler {
+ public:
+  ExprCompiler(const ModelRegistry* registry, std::uint64_t* call_site_counter)
+      : registry_(registry), call_sites_(call_site_counter) {}
+
+  Result<ExprPtr> Compile(const AstExpr& ast, const ExprScope& scope) {
+    switch (ast.kind) {
+      case AstExprKind::kNumber:
+        return pdb::MakeLiteral(Value(ast.number));
+      case AstExprKind::kString:
+        return pdb::MakeLiteral(Value(ast.text));
+      case AstExprKind::kParam: {
+        if (scope.params == nullptr) {
+          return Status::BindError("parameter '@" + ast.text +
+                                   "' not allowed here");
+        }
+        auto idx = scope.params->IndexOf(ast.text);
+        if (!idx) {
+          return Status::BindError("undeclared parameter '@" + ast.text +
+                                   "'");
+        }
+        return pdb::MakeParamRef(*idx, ast.text);
+      }
+      case AstExprKind::kIdent: {
+        // Aliases first (Figure 1's overload references its siblings),
+        // then subquery columns.
+        if (scope.visible_aliases != nullptr) {
+          for (std::size_t i = 0; i < scope.visible_aliases->size(); ++i) {
+            if (EqualsIgnoreCase((*scope.visible_aliases)[i], ast.text)) {
+              return pdb::MakeAliasRef(i, ast.text);
+            }
+          }
+        }
+        if (scope.input_columns != nullptr) {
+          for (std::size_t i = 0; i < scope.input_columns->size(); ++i) {
+            if (EqualsIgnoreCase((*scope.input_columns)[i], ast.text)) {
+              return pdb::MakeColumnRef(i, ast.text);
+            }
+          }
+        }
+        return Status::BindError("unresolved column '" + ast.text + "'");
+      }
+      case AstExprKind::kCall: {
+        JIGSAW_ASSIGN_OR_RETURN(BlackBoxPtr model,
+                                registry_->Lookup(ast.text));
+        if (model->arity() != ast.children.size()) {
+          return Status::BindError(StrFormat(
+              "%s expects %zu argument(s), got %zu", model->name().c_str(),
+              model->arity(), ast.children.size()));
+        }
+        std::vector<ExprPtr> args;
+        args.reserve(ast.children.size());
+        for (const auto& child : ast.children) {
+          JIGSAW_ASSIGN_OR_RETURN(ExprPtr arg, Compile(*child, scope));
+          args.push_back(std::move(arg));
+        }
+        const std::uint64_t site = ++*call_sites_;
+        return pdb::MakeModelCall(std::move(model), std::move(args), site);
+      }
+      case AstExprKind::kBinary: {
+        JIGSAW_ASSIGN_OR_RETURN(BinaryOp op, BinaryOpFromText(ast.text));
+        JIGSAW_ASSIGN_OR_RETURN(ExprPtr lhs,
+                                Compile(*ast.children[0], scope));
+        JIGSAW_ASSIGN_OR_RETURN(ExprPtr rhs,
+                                Compile(*ast.children[1], scope));
+        return pdb::MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+      case AstExprKind::kNot: {
+        JIGSAW_ASSIGN_OR_RETURN(ExprPtr operand,
+                                Compile(*ast.children[0], scope));
+        return pdb::MakeNot(std::move(operand));
+      }
+      case AstExprKind::kNegate: {
+        JIGSAW_ASSIGN_OR_RETURN(ExprPtr operand,
+                                Compile(*ast.children[0], scope));
+        return pdb::MakeBinary(BinaryOp::kSub,
+                               pdb::MakeLiteral(Value(0.0)),
+                               std::move(operand));
+      }
+      case AstExprKind::kCase: {
+        std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+        for (std::size_t i = 0; i + 1 < ast.children.size(); i += 2) {
+          JIGSAW_ASSIGN_OR_RETURN(ExprPtr cond,
+                                  Compile(*ast.children[i], scope));
+          JIGSAW_ASSIGN_OR_RETURN(ExprPtr result,
+                                  Compile(*ast.children[i + 1], scope));
+          branches.emplace_back(std::move(cond), std::move(result));
+        }
+        ExprPtr else_expr;
+        if (ast.else_expr) {
+          JIGSAW_ASSIGN_OR_RETURN(else_expr,
+                                  Compile(*ast.else_expr, scope));
+        }
+        return pdb::MakeCase(std::move(branches), std::move(else_expr));
+      }
+    }
+    return Status::Internal("unhandled AST expression kind");
+  }
+
+ private:
+  const ModelRegistry* registry_;
+  std::uint64_t* call_sites_;
+};
+
+/// SimFunction over one outer column of a RowProgram. Runtime expression
+/// failures abort with a message: the binder validates statically and
+/// performs a probe evaluation at bind time, so an error here is a
+/// programming bug, not user input.
+class ColumnSimFunction final : public SimFunction {
+ public:
+  ColumnSimFunction(std::shared_ptr<const RowProgram> program,
+                    std::size_t column, std::string label)
+      : program_(std::move(program)),
+        column_(column),
+        label_(std::move(label)) {}
+
+  const std::string& label() const override { return label_; }
+
+  double Sample(std::span<const double> params, std::size_t sample_id,
+                const SeedVector& seeds) const override {
+    auto v = program_->EvalColumn(column_, params, sample_id, seeds);
+    JIGSAW_CHECK_MSG(v.ok(), "column '" << label_ << "': "
+                                        << v.status().ToString());
+    return v.value();
+  }
+
+ private:
+  std::shared_ptr<const RowProgram> program_;
+  std::size_t column_;
+  std::string label_;
+};
+
+}  // namespace
+
+Result<double> RowProgram::EvalColumn(std::size_t j,
+                                      std::span<const double> params,
+                                      std::size_t sample_id,
+                                      const SeedVector& seeds,
+                                      std::uint64_t stream_salt) const {
+  EvalContext ctx;
+  ctx.params = params;
+  ctx.sample_id = sample_id;
+  ctx.seeds = &seeds;
+  ctx.stream_salt = stream_salt;
+
+  pdb::Row inner_row;
+  if (!inner_exprs.empty()) {
+    std::vector<Value> inner_aliases;
+    inner_aliases.reserve(inner_exprs.size());
+    EvalContext inner_ctx = ctx;
+    inner_ctx.aliases = &inner_aliases;
+    for (const auto& e : inner_exprs) {
+      JIGSAW_ASSIGN_OR_RETURN(Value v, e->Eval(inner_ctx));
+      inner_aliases.push_back(std::move(v));
+    }
+    inner_row = std::move(inner_aliases);
+    ctx.row = &inner_row;
+  }
+
+  std::vector<Value> aliases;
+  aliases.reserve(j + 1);
+  ctx.aliases = &aliases;
+  for (std::size_t i = 0; i <= j; ++i) {
+    JIGSAW_ASSIGN_OR_RETURN(Value v, outer_exprs[i]->Eval(ctx));
+    aliases.push_back(std::move(v));
+  }
+  if (!aliases[j].IsNumeric()) {
+    return Status::ExecutionError("column '" + outer_names[j] +
+                                  "' is not numeric");
+  }
+  return aliases[j].AsDouble();
+}
+
+Result<std::vector<double>> RowProgram::EvalAllColumns(
+    std::span<const double> params, std::size_t sample_id,
+    const SeedVector& seeds, std::uint64_t stream_salt) const {
+  EvalContext ctx;
+  ctx.params = params;
+  ctx.sample_id = sample_id;
+  ctx.seeds = &seeds;
+  ctx.stream_salt = stream_salt;
+
+  pdb::Row inner_row;
+  if (!inner_exprs.empty()) {
+    std::vector<Value> inner_aliases;
+    inner_aliases.reserve(inner_exprs.size());
+    EvalContext inner_ctx = ctx;
+    inner_ctx.aliases = &inner_aliases;
+    for (const auto& e : inner_exprs) {
+      JIGSAW_ASSIGN_OR_RETURN(Value v, e->Eval(inner_ctx));
+      inner_aliases.push_back(std::move(v));
+    }
+    inner_row = std::move(inner_aliases);
+    ctx.row = &inner_row;
+  }
+
+  std::vector<Value> aliases;
+  aliases.reserve(outer_exprs.size());
+  ctx.aliases = &aliases;
+  std::vector<double> out;
+  out.reserve(outer_exprs.size());
+  for (std::size_t i = 0; i < outer_exprs.size(); ++i) {
+    JIGSAW_ASSIGN_OR_RETURN(Value v, outer_exprs[i]->Eval(ctx));
+    aliases.push_back(std::move(v));
+    if (!aliases[i].IsNumeric()) {
+      return Status::ExecutionError("column '" + outer_names[i] +
+                                    "' is not numeric");
+    }
+    out.push_back(aliases[i].AsDouble());
+  }
+  return out;
+}
+
+Result<BoundScript> Binder::Bind(const Script& script) {
+  BoundScript bound;
+
+  // Pass 1: parameter declarations.
+  const DeclareStmt* chain_decl = nullptr;
+  for (const auto& stmt : script.statements) {
+    if (!stmt.declare) continue;
+    const DeclareStmt& d = *stmt.declare;
+    ParameterDef def;
+    def.name = d.param;
+    if (d.range) {
+      def.domain = RangeDomain{d.range->lo, d.range->hi, d.range->step};
+    } else if (d.set) {
+      def.domain = SetDomain{d.set->values};
+    } else if (d.chain) {
+      def.domain = ChainDomain{d.chain->column, d.chain->driver_param,
+                               d.chain->initial};
+      chain_decl = &d;
+    } else {
+      return Status::BindError("parameter '@" + d.param +
+                               "' has no domain");
+    }
+    JIGSAW_RETURN_IF_ERROR(bound.scenario.params.Add(std::move(def)));
+  }
+
+  // Pass 2: the scenario SELECT (exactly one top-level SELECT expected).
+  const SelectStmt* select = nullptr;
+  for (const auto& stmt : script.statements) {
+    if (stmt.select) {
+      if (select != nullptr) {
+        return Status::BindError(
+            "multiple SELECT statements; one scenario per script");
+      }
+      select = stmt.select.get();
+    }
+  }
+  if (select == nullptr) {
+    return Status::BindError("script has no SELECT statement");
+  }
+  if (select->from_subquery && select->from_subquery->from_subquery) {
+    return Status::Unimplemented(
+        "nested FROM subqueries deeper than one level");
+  }
+
+  std::uint64_t call_site_counter = 0;
+  ExprCompiler compiler(registry_, &call_site_counter);
+  auto program = std::make_shared<RowProgram>();
+
+  if (select->from_subquery) {
+    const SelectStmt& sub = *select->from_subquery;
+    ExprScope scope;
+    scope.params = &bound.scenario.params;
+    scope.visible_aliases = &program->inner_names;
+    for (const auto& item : sub.items) {
+      JIGSAW_ASSIGN_OR_RETURN(ExprPtr e, compiler.Compile(*item.expr, scope));
+      program->inner_exprs.push_back(std::move(e));
+      program->inner_names.push_back(
+          item.alias.empty()
+              ? StrFormat("col%zu", program->inner_names.size())
+              : item.alias);
+    }
+  }
+
+  {
+    ExprScope scope;
+    scope.params = &bound.scenario.params;
+    scope.input_columns = &program->inner_names;
+    scope.visible_aliases = &program->outer_names;
+    for (const auto& item : select->items) {
+      JIGSAW_ASSIGN_OR_RETURN(ExprPtr e, compiler.Compile(*item.expr, scope));
+      program->outer_exprs.push_back(std::move(e));
+      program->outer_names.push_back(
+          item.alias.empty()
+              ? StrFormat("col%zu", program->outer_names.size())
+              : item.alias);
+    }
+  }
+
+  bound.scenario.into_table = select->into_table;
+  bound.program = program;
+  for (std::size_t j = 0; j < program->outer_exprs.size(); ++j) {
+    bound.scenario.columns.push_back(ScenarioColumn{
+        program->outer_names[j],
+        std::make_shared<ColumnSimFunction>(program, j,
+                                            program->outer_names[j])});
+  }
+
+  // Probe evaluation: catch latent runtime errors (type mismatches,
+  // division by zero on the initial valuation) at bind time.
+  {
+    SeedVector probe_seeds(0xB1FD0000DEADBEEFULL, 2);
+    const auto valuation = bound.scenario.params.NumPoints() > 0
+                               ? bound.scenario.params.ValuationAt(0)
+                               : std::vector<double>{};
+    auto probe = program->EvalAllColumns(valuation, 0, probe_seeds);
+    if (!probe.ok()) {
+      return Status::BindError("scenario probe evaluation failed: " +
+                               probe.status().message());
+    }
+  }
+
+  // Pass 3: chain metadata.
+  if (chain_decl != nullptr) {
+    const ChainSpecAst& c = *chain_decl->chain;
+    BoundChain chain;
+    chain.initial = c.initial;
+    auto pidx = bound.scenario.params.IndexOf(chain_decl->param);
+    JIGSAW_CHECK(pidx.has_value());
+    chain.chain_param_index = *pidx;
+    auto didx = bound.scenario.params.IndexOf(c.driver_param);
+    if (!didx) {
+      return Status::BindError("chain driver '@" + c.driver_param +
+                               "' is not declared");
+    }
+    if (bound.scenario.params.def(*didx).is_chain()) {
+      return Status::BindError("chain driver '@" + c.driver_param +
+                               "' must not itself be a CHAIN parameter");
+    }
+    chain.driver_param_index = *didx;
+    bool found_col = false;
+    for (std::size_t j = 0; j < program->outer_names.size(); ++j) {
+      if (EqualsIgnoreCase(program->outer_names[j], c.column)) {
+        chain.source_column_index = j;
+        found_col = true;
+        break;
+      }
+    }
+    if (!found_col) {
+      return Status::BindError("chain column '" + c.column +
+                               "' is not a result column");
+    }
+    // Only the previous-step form "@driver - 1" is supported (Figure 5).
+    const AstExpr& src = *c.source_step;
+    const bool prev_step_form =
+        src.kind == AstExprKind::kBinary && src.text == "-" &&
+        src.children[0]->kind == AstExprKind::kParam &&
+        EqualsIgnoreCase(src.children[0]->text, c.driver_param) &&
+        src.children[1]->kind == AstExprKind::kNumber &&
+        src.children[1]->number == 1.0;
+    if (!prev_step_form) {
+      return Status::Unimplemented(
+          "CHAIN source step must be '@driver - 1' (previous step)");
+    }
+    bound.chain = chain;
+  }
+
+  // Pass 4: OPTIMIZE.
+  for (const auto& stmt : script.statements) {
+    if (!stmt.optimize) continue;
+    if (bound.optimize) {
+      return Status::BindError("multiple OPTIMIZE statements");
+    }
+    const OptimizeStmt& o = *stmt.optimize;
+    if (!bound.scenario.into_table.empty() &&
+        !EqualsIgnoreCase(o.from_table, bound.scenario.into_table)) {
+      return Status::BindError("OPTIMIZE reads table '" + o.from_table +
+                               "' but the scenario writes INTO '" +
+                               bound.scenario.into_table + "'");
+    }
+    OptimizeSpec spec;
+    spec.select_params = o.select_params;
+    for (const auto& g : o.group_by) {
+      if (!bound.scenario.params.IndexOf(g)) {
+        return Status::BindError("GROUP BY references undeclared '" + g +
+                                 "'");
+      }
+      spec.group_params.push_back(g);
+    }
+    for (const auto& c : o.constraints) {
+      MetricConstraint mc;
+      JIGSAW_ASSIGN_OR_RETURN(mc.agg, SweepAggFromText(c.sweep_agg));
+      JIGSAW_ASSIGN_OR_RETURN(mc.metric, MetricFromText(c.metric));
+      JIGSAW_ASSIGN_OR_RETURN(const ScenarioColumn* col,
+                              bound.scenario.FindColumn(c.column));
+      mc.column = col->name;
+      JIGSAW_ASSIGN_OR_RETURN(mc.cmp, CmpFromText(c.cmp));
+      mc.threshold = c.threshold;
+      spec.constraints.push_back(std::move(mc));
+    }
+    for (const auto& obj : o.objectives) {
+      if (!bound.scenario.params.IndexOf(obj.param)) {
+        return Status::BindError("FOR references undeclared '@" +
+                                 obj.param + "'");
+      }
+      spec.objectives.push_back(ObjectiveTerm{obj.param, obj.maximize});
+    }
+    bound.optimize = std::move(spec);
+  }
+
+  // Pass 5: GRAPH.
+  for (const auto& stmt : script.statements) {
+    if (!stmt.graph) continue;
+    if (bound.graph) {
+      return Status::BindError("multiple GRAPH statements");
+    }
+    const GraphStmt& g = *stmt.graph;
+    GraphSpec spec;
+    auto xidx = bound.scenario.params.IndexOf(g.x_param);
+    if (!xidx) {
+      return Status::BindError("GRAPH OVER references undeclared '@" +
+                               g.x_param + "'");
+    }
+    spec.x_param = g.x_param;
+    for (const auto& s : g.series) {
+      GraphSeries series;
+      JIGSAW_ASSIGN_OR_RETURN(series.metric, MetricFromText(s.metric));
+      JIGSAW_ASSIGN_OR_RETURN(const ScenarioColumn* col,
+                              bound.scenario.FindColumn(s.column));
+      series.column = col->name;
+      series.style = Join(s.style, " ");
+      spec.series.push_back(std::move(series));
+    }
+    bound.graph = std::move(spec);
+  }
+
+  return bound;
+}
+
+Result<BoundScript> ParseAndBind(const std::string& text,
+                                 const ModelRegistry& registry) {
+  JIGSAW_ASSIGN_OR_RETURN(Script script, ParseScript(text));
+  Binder binder(&registry);
+  return binder.Bind(script);
+}
+
+}  // namespace jigsaw::sql

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file binder.h
+/// Semantic analysis: resolves a parsed Script against a ModelRegistry
+/// into an executable BoundScript — a core::Scenario (parameter space +
+/// compiled result columns), plus the OPTIMIZE / GRAPH specs and chain
+/// metadata if present. All name/arity errors surface here as BindError
+/// with context; execution never sees unresolved names.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/graph_spec.h"
+#include "core/optimizer.h"
+#include "core/scenario.h"
+#include "models/black_box.h"
+#include "pdb/expr.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace jigsaw::sql {
+
+/// Chain (Figure 5) metadata: which parameter is chained, which column
+/// feeds it, which parameter drives the steps.
+struct BoundChain {
+  std::size_t chain_param_index = 0;
+  std::size_t driver_param_index = 0;
+  std::size_t source_column_index = 0;
+  double initial = 0.0;
+};
+
+/// The compiled projection shared by all column SimFunctions: inner
+/// (subquery) expressions first, then outer expressions which may
+/// reference inner columns and earlier outer aliases.
+struct RowProgram {
+  std::vector<pdb::ExprPtr> inner_exprs;
+  std::vector<std::string> inner_names;
+  std::vector<pdb::ExprPtr> outer_exprs;
+  std::vector<std::string> outer_names;
+
+  /// Evaluates outer column `j` for one (params, sample) pair; the salt
+  /// lets the Markov executor vary randomness per chain step.
+  Result<double> EvalColumn(std::size_t j, std::span<const double> params,
+                            std::size_t sample_id, const SeedVector& seeds,
+                            std::uint64_t stream_salt = 0) const;
+
+  /// Evaluates every outer column at once (used by the chain executor
+  /// and the layered engine).
+  Result<std::vector<double>> EvalAllColumns(
+      std::span<const double> params, std::size_t sample_id,
+      const SeedVector& seeds, std::uint64_t stream_salt = 0) const;
+};
+
+struct BoundScript {
+  Scenario scenario;
+  std::shared_ptr<const RowProgram> program;
+  std::optional<OptimizeSpec> optimize;
+  std::optional<GraphSpec> graph;
+  std::optional<BoundChain> chain;
+};
+
+class Binder {
+ public:
+  explicit Binder(const ModelRegistry* registry) : registry_(registry) {}
+
+  Result<BoundScript> Bind(const Script& script);
+
+ private:
+  const ModelRegistry* registry_;
+};
+
+/// Convenience: parse + bind in one call.
+Result<BoundScript> ParseAndBind(const std::string& text,
+                                 const ModelRegistry& registry);
+
+}  // namespace jigsaw::sql

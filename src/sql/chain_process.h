@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file chain_process.h
+/// Bridges a bound CHAIN scenario (Figure 5) onto the Markov executor of
+/// Section 4. The chain parameter's value is the per-instance state; one
+/// chain step evaluates the scenario's projection with
+///   @driver = step,  @chain = previous state
+/// and feeds the designated source column back as the next state. The
+/// synthesized estimator (Section 4.2) freezes the chain parameter at the
+/// anchor value — "an estimator from this value will be constructed by
+/// fixing release_week (the chain parameter) at its initial value".
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/run_config.h"
+#include "markov/chain_runner.h"
+#include "markov/markov_process.h"
+#include "sql/binder.h"
+
+namespace jigsaw::sql {
+
+class ScenarioChainProcess final : public MarkovProcess {
+ public:
+  /// `base_valuation` fixes every parameter other than the driver and the
+  /// chain parameter (use ParameterSpace::ValuationAt(0) or overrides).
+  /// `output_column` is the observable extracted by OutputForInstance.
+  ScenarioChainProcess(std::shared_ptr<const RowProgram> program,
+                       BoundChain chain, std::vector<double> base_valuation,
+                       std::size_t output_column);
+
+  const std::string& name() const override { return name_; }
+  double initial_state() const override { return chain_.initial; }
+
+  double StepForInstance(double prev_state, std::int64_t step, std::size_t k,
+                         const SeedVector& seeds) const override;
+
+  double EstimateForInstance(double anchor_state, std::int64_t anchor_step,
+                             std::int64_t step, std::size_t k,
+                             const SeedVector& seeds) const override;
+
+  double OutputForInstance(double state, std::int64_t step, std::size_t k,
+                           const SeedVector& seeds) const override;
+
+ private:
+  double EvalColumn(std::size_t column, double chain_value,
+                    std::int64_t step, std::size_t k,
+                    const SeedVector& seeds, std::uint64_t salt) const;
+
+  std::shared_ptr<const RowProgram> program_;
+  BoundChain chain_;
+  std::vector<double> base_valuation_;
+  std::size_t output_column_;
+  std::string name_;
+};
+
+/// Evaluates a CHAIN scenario to `target` steps and returns metrics of
+/// `output_column` over all instances. With use_jump=false this is the
+/// naive full-chain baseline.
+Result<OutputMetrics> RunChainScenario(const BoundScript& bound,
+                                       const std::string& output_column,
+                                       std::int64_t target,
+                                       const RunConfig& config, bool use_jump,
+                                       ChainRunStats* stats = nullptr);
+
+}  // namespace jigsaw::sql

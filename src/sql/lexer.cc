@@ -1,0 +1,157 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace jigsaw::sql {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier '" + text + "'";
+    case TokenKind::kParam:
+      return "parameter '@" + text + "'";
+    case TokenKind::kNumber:
+      return "number " + DoubleToString(number);
+    case TokenKind::kString:
+      return "string '" + text + "'";
+    case TokenKind::kSymbol:
+      return "'" + text + "'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> out;
+  std::size_t line = 1;
+  std::size_t col = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') advance(1);
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.column = col;
+
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      tok.kind = TokenKind::kIdent;
+      tok.text = text.substr(i, j - i);
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '@') {
+      std::size_t j = i + 1;
+      if (j >= n || !IsIdentStart(text[j])) {
+        return Status::ParseError(
+            StrFormat("line %zu: '@' must be followed by a parameter name",
+                      line));
+      }
+      while (j < n && IsIdentChar(text[j])) ++j;
+      tok.kind = TokenKind::kParam;
+      tok.text = text.substr(i + 1, j - i - 1);
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str() + i, &end);
+      const std::size_t len = static_cast<std::size_t>(end - (text.c_str() + i));
+      tok.kind = TokenKind::kNumber;
+      tok.number = v;
+      tok.text = text.substr(i, len);
+      advance(len);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && text[j] != '\'') {
+        value += text[j];
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError(
+            StrFormat("line %zu: unterminated string literal", line));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(value);
+      advance(j - i + 1);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Multi-char operators first.
+    auto two = i + 1 < n ? text.substr(i, 2) : std::string();
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = two;
+      advance(2);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingles = "()+-*/<>=,;:";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      advance(1);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("line %zu col %zu: unexpected character '%c'", line, col,
+                  c));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = col;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace jigsaw::sql

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file lexer.h
+/// Hand-written lexer for the Jigsaw query language. Supports `--` line
+/// comments (the paper's examples use them as section markers), numeric
+/// literals, quoted strings, @parameters and multi-character operators
+/// (<=, >=, <>, !=).
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace jigsaw::sql {
+
+/// Tokenizes `text`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace jigsaw::sql

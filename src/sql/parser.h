@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file parser.h
+/// Recursive-descent parser for the Jigsaw query language. Produces the
+/// parse-level AST of ast.h; all name resolution happens later in the
+/// binder. Errors carry line/column positions.
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace jigsaw::sql {
+
+/// Parses a whole script (semicolon-separated statements).
+Result<Script> ParseScript(const std::string& text);
+
+/// Parses a single standalone expression (used by tests and the REPL).
+Result<AstExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace jigsaw::sql

@@ -1,0 +1,113 @@
+#include "sql/script_runner.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jigsaw::sql {
+
+std::string ScriptOutcome::Report() const {
+  std::string out;
+  if (optimize) {
+    out += optimize->ToString() + "\n";
+  }
+  if (graph) {
+    out += StrFormat("GRAPH over @%s: %zu points x %zu series\n",
+                     graph->spec.x_param.c_str(), graph->points.size(),
+                     graph->spec.series.size());
+  }
+  out += StrFormat(
+      "points evaluated: %llu, reused: %llu (%.1f%%), basis "
+      "distributions: %zu, black-box invocations: %llu\n",
+      static_cast<unsigned long long>(runner_stats.points_evaluated),
+      static_cast<unsigned long long>(runner_stats.points_reused),
+      runner_stats.points_evaluated
+          ? 100.0 * static_cast<double>(runner_stats.points_reused) /
+                static_cast<double>(runner_stats.points_evaluated)
+          : 0.0,
+      basis_count,
+      static_cast<unsigned long long>(runner_stats.blackbox_invocations));
+  return out;
+}
+
+Result<ScriptOutcome> ScriptRunner::Run(const std::string& text) {
+  return Run(text, {});
+}
+
+Result<ScriptOutcome> ScriptRunner::Run(
+    const std::string& text,
+    const std::vector<std::pair<std::string, double>>& overrides) {
+  JIGSAW_ASSIGN_OR_RETURN(BoundScript bound, ParseAndBind(text, *registry_));
+
+  ScriptOutcome outcome;
+  SimulationRunner runner(config_);
+
+  if (bound.optimize) {
+    if (bound.chain) {
+      return Status::Unimplemented(
+          "OPTIMIZE over CHAIN scenarios is not supported; use "
+          "RunChainScenario");
+    }
+    Optimizer optimizer(&runner);
+    JIGSAW_ASSIGN_OR_RETURN(OptimizeResult result,
+                            optimizer.Run(bound.scenario, *bound.optimize));
+    outcome.optimize = std::move(result);
+  }
+
+  if (bound.graph) {
+    if (bound.chain) {
+      return Status::Unimplemented(
+          "GRAPH over CHAIN scenarios is not supported; use "
+          "RunChainScenario per step");
+    }
+    const auto& params = bound.scenario.params;
+    auto xidx = params.IndexOf(bound.graph->x_param);
+    JIGSAW_CHECK(xidx.has_value());
+
+    // Fix every non-x parameter: overrides first, then the first value of
+    // its domain.
+    std::vector<double> valuation(params.num_params(), 0.0);
+    for (std::size_t i = 0; i < params.num_params(); ++i) {
+      const auto& def = params.def(i);
+      const auto values = def.Values();
+      valuation[i] = values.empty() ? 0.0 : values[0];
+    }
+    for (const auto& [name, value] : overrides) {
+      auto idx = params.IndexOf(name);
+      if (!idx) {
+        return Status::InvalidArgument("override for undeclared '@" + name +
+                                       "'");
+      }
+      valuation[*idx] = value;
+    }
+
+    // Resolve series columns to SimFunctions once.
+    std::vector<const ScenarioColumn*> cols;
+    for (const auto& s : bound.graph->series) {
+      JIGSAW_ASSIGN_OR_RETURN(const ScenarioColumn* col,
+                              bound.scenario.FindColumn(s.column));
+      cols.push_back(col);
+    }
+
+    GraphData data;
+    data.spec = *bound.graph;
+    for (double x : params.def(*xidx).Values()) {
+      valuation[*xidx] = x;
+      GraphPoint point;
+      point.x = x;
+      for (std::size_t s = 0; s < cols.size(); ++s) {
+        const PointResult r = runner.RunPoint(*cols[s]->fn, valuation);
+        point.y.push_back(
+            ExtractMetric(r.metrics, bound.graph->series[s].metric));
+      }
+      data.points.push_back(std::move(point));
+    }
+    outcome.graph = std::move(data);
+  }
+
+  outcome.runner_stats = runner.stats();
+  outcome.basis_count = runner.basis_store().size();
+  outcome.bound = std::move(bound);
+  return outcome;
+}
+
+}  // namespace jigsaw::sql

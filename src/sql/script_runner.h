@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file script_runner.h
+/// End-to-end execution of Jigsaw scripts: parse -> bind -> run. A script
+/// contains DECLARE PARAMETER statements, one scenario SELECT, and
+/// optionally an OPTIMIZE (batch mode, Figure 1) and/or a GRAPH query
+/// (interactive mode's presentation, Section 2.2). This is the highest-
+/// level entry point of the library; the examples and the REPL sit on it.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graph_spec.h"
+#include "core/optimizer.h"
+#include "core/run_config.h"
+#include "core/sim_runner.h"
+#include "models/black_box.h"
+#include "sql/binder.h"
+#include "util/status.h"
+
+namespace jigsaw::sql {
+
+struct GraphPoint {
+  double x = 0.0;
+  std::vector<double> y;  ///< one value per series
+};
+
+struct GraphData {
+  GraphSpec spec;
+  std::vector<GraphPoint> points;
+};
+
+struct ScriptOutcome {
+  BoundScript bound;
+  std::optional<OptimizeResult> optimize;
+  std::optional<GraphData> graph;
+  RunnerStats runner_stats;
+  std::size_t basis_count = 0;
+
+  /// Human-readable summary of whatever the script produced.
+  std::string Report() const;
+};
+
+class ScriptRunner {
+ public:
+  ScriptRunner(const ModelRegistry* registry, const RunConfig& config)
+      : registry_(registry), config_(config) {}
+
+  /// Runs a full script. `overrides` pins specific parameters (by name)
+  /// when sweeping a GRAPH's x-axis; unspecified parameters default to
+  /// the first value of their domain.
+  Result<ScriptOutcome> Run(const std::string& text);
+  Result<ScriptOutcome> Run(const std::string& text,
+                            const std::vector<std::pair<std::string, double>>&
+                                overrides);
+
+ private:
+  const ModelRegistry* registry_;
+  RunConfig config_;
+};
+
+}  // namespace jigsaw::sql

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file token.h
+/// Token stream for the Jigsaw query language (Figure 1 / Figure 5
+/// syntax). Keywords are not reserved at the lexer level; the parser
+/// matches identifier text case-insensitively, which keeps the keyword set
+/// extensible (EXPECT, CHAIN, ...) without breaking identifiers.
+
+#include <cstddef>
+#include <string>
+
+namespace jigsaw::sql {
+
+enum class TokenKind {
+  kIdent,    ///< bare identifier / keyword
+  kParam,    ///< @identifier
+  kNumber,   ///< numeric literal (always lexed as double)
+  kString,   ///< 'single quoted'
+  kSymbol,   ///< punctuation / operator, text holds the spelling
+  kEnd,      ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< identifier/param name, literal, or symbol
+  double number = 0.0;  ///< value when kind == kNumber
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace jigsaw::sql

@@ -1,0 +1,96 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace jigsaw {
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi), counts_(static_cast<std::size_t>(num_bins), 0) {
+  JIGSAW_CHECK_MSG(num_bins > 0, "histogram needs at least one bin");
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;  // degenerate range; widen to unit width
+  width_ = (hi_ - lo_) / num_bins;
+}
+
+Histogram Histogram::FromSamples(const std::vector<double>& samples,
+                                 int num_bins) {
+  double lo = 0.0, hi = 1.0;
+  if (!samples.empty()) {
+    lo = *std::min_element(samples.begin(), samples.end());
+    hi = *std::max_element(samples.begin(), samples.end());
+  }
+  Histogram h(lo, hi, num_bins);
+  for (double s : samples) h.Add(s);
+  return h;
+}
+
+void Histogram::Add(double x) {
+  int bin = static_cast<int>(std::floor((x - lo_) / width_));
+  bin = std::max(0, std::min(bin, num_bins() - 1));
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+Histogram Histogram::AffineTransformed(double alpha, double beta) const {
+  const double a = lo_ * alpha + beta;
+  const double b = hi_ * alpha + beta;
+  Histogram out(std::min(a, b), std::max(a, b), num_bins());
+  out.total_ = total_;
+  if (alpha >= 0) {
+    out.counts_ = counts_;
+  } else {
+    out.counts_.assign(counts_.rbegin(), counts_.rend());
+  }
+  return out;
+}
+
+double Histogram::bin_lo(int i) const { return lo_ + width_ * i; }
+double Histogram::bin_hi(int i) const { return lo_ + width_ * (i + 1); }
+
+double Histogram::CdfAt(double x) const {
+  if (total_ == 0) return 0.0;
+  std::int64_t below = 0;
+  for (int i = 0; i < num_bins(); ++i) {
+    if (bin_hi(i) <= x) {
+      below += counts_[static_cast<std::size_t>(i)];
+    } else if (bin_lo(i) <= x) {
+      // Partial bin: assume uniform density inside the bin.
+      const double frac = (x - bin_lo(i)) / width_;
+      below += static_cast<std::int64_t>(
+          frac * static_cast<double>(counts_[static_cast<std::size_t>(i)]));
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double Histogram::ApproxMean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (int i = 0; i < num_bins(); ++i) {
+    const double mid = 0.5 * (bin_lo(i) + bin_hi(i));
+    acc += mid * static_cast<double>(counts_[static_cast<std::size_t>(i)]);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(int width) const {
+  std::int64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (int i = 0; i < num_bins(); ++i) {
+    const auto c = counts_[static_cast<std::size_t>(i)];
+    const int bar =
+        static_cast<int>(static_cast<double>(c) / static_cast<double>(peak) *
+                         width);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%10.3f] ", bin_lo(i));
+    out += buf;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace jigsaw

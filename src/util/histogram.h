@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file histogram.h
+/// Fixed-bin-count histogram over doubles. Supports the affine transform
+/// needed when a basis distribution's histogram is reused for a linearly
+/// mapped parameter point (Section 3 of the paper: mapping functions are
+/// "easily applied to simple aggregate properties").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jigsaw {
+
+class Histogram {
+ public:
+  /// Builds a histogram with `num_bins` equal-width bins over [lo, hi].
+  /// Observations outside the range are clamped into the edge bins.
+  Histogram(double lo, double hi, int num_bins);
+
+  /// Builds from samples, choosing [min, max] of the data as range.
+  static Histogram FromSamples(const std::vector<double>& samples,
+                               int num_bins);
+
+  void Add(double x);
+
+  /// Applies M(x) = alpha*x + beta to the bin boundaries. A negative alpha
+  /// reverses bin order. Counts are preserved exactly, which is the key
+  /// property that makes histogram reuse free of resampling error.
+  Histogram AffineTransformed(double alpha, double beta) const;
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::int64_t total_count() const { return total_; }
+  std::int64_t bin_count(int i) const { return counts_[i]; }
+  double bin_lo(int i) const;
+  double bin_hi(int i) const;
+
+  /// Probability mass at or below x (inclusive of the full bin containing
+  /// x). An approximation suitable for threshold probabilities.
+  double CdfAt(double x) const;
+
+  /// Mean of bin midpoints weighted by counts.
+  double ApproxMean() const;
+
+  /// Renders a short ASCII sparkline-style dump (used by examples).
+  std::string ToAscii(int width = 40) const;
+
+  bool operator==(const Histogram& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_ && counts_ == other.counts_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> counts_;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file math_util.h
+/// Numerically stable streaming statistics and small math helpers shared by
+/// the estimator, fingerprint tolerance checks, and benchmarks.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace jigsaw {
+
+/// Welford's online algorithm for mean and variance. Single pass, stable.
+class WelfordAccumulator {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void Merge(const WelfordAccumulator& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Sample variance (divide by n-1).
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sample_stddev() const { return std::sqrt(sample_variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Standard error of the mean (uses sample stddev).
+  double standard_error() const {
+    return count_ > 1 ? sample_stddev() / std::sqrt(static_cast<double>(count_))
+                      : std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Kahan compensated summation.
+class KahanSum {
+ public:
+  void Add(double x) {
+    const double y = x - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+  double sum() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) of `sorted` using linear
+/// interpolation between closest ranks. `sorted` must be ascending.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Convenience: copies, sorts, and computes a quantile.
+double Quantile(std::vector<double> values, double q);
+
+/// True if |a-b| <= atol + rtol*max(|a|,|b|). The fingerprint-matching
+/// tolerance test used throughout the core.
+inline bool ApproxEqual(double a, double b, double rtol = 1e-9,
+                        double atol = 1e-12) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= atol + rtol * scale;
+}
+
+/// Integer ceil division for non-negative values.
+inline std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file status.h
+/// Lightweight Status / Result<T> error propagation, modeled after the
+/// Status idiom used by database engines (Arrow, LevelDB). The Jigsaw
+/// public API never throws across module boundaries; fallible operations
+/// return Status (or Result<T> when they produce a value).
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace jigsaw {
+
+/// Error taxonomy for the whole library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kBindError,
+  kExecutionError,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy on the success path (no
+/// allocation); error path carries a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error outcome. Access to value() on an error is a programming
+/// bug and aborts (checked via JIGSAW_CHECK in the .cc of logging).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value or a default if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate an error Status from an expression: `JIGSAW_RETURN_IF_ERROR(s)`.
+#define JIGSAW_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::jigsaw::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Bind a Result value or propagate its error:
+/// `JIGSAW_ASSIGN_OR_RETURN(auto x, ComputeX());`
+#define JIGSAW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define JIGSAW_ASSIGN_OR_RETURN(lhs, rexpr) \
+  JIGSAW_ASSIGN_OR_RETURN_IMPL(             \
+      JIGSAW_CONCAT_(_jigsaw_result_, __LINE__), lhs, rexpr)
+
+#define JIGSAW_CONCAT_INNER_(a, b) a##b
+#define JIGSAW_CONCAT_(a, b) JIGSAW_CONCAT_INNER_(a, b)
+
+}  // namespace jigsaw

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file thread_pool.h
+/// A fixed-size worker pool used for optional parallel Monte Carlo
+/// evaluation (MCDB evaluates sampled worlds in parallel). Determinism is
+/// preserved because each sample's randomness depends only on its seed, not
+/// on scheduling; reductions merge per-worker accumulators in index order.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jigsaw {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits. Chunked to
+  /// keep queue overhead low for fine-grained bodies.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,396 @@
+// Tests for the fingerprint core: fingerprint computation, Algorithm 2
+// (FindLinearMapping), the mapping-class abstraction, the three index
+// strategies of Section 3.2 and the basis store (Algorithm 3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/basis_store.h"
+#include "core/fingerprint.h"
+#include "core/fingerprint_index.h"
+#include "core/mapping.h"
+#include "core/metrics.h"
+#include "core/sim_function.h"
+#include "models/cloud_models.h"
+#include "random/splitmix64.h"
+
+namespace jigsaw {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+Fingerprint FP(std::vector<double> v) { return Fingerprint(std::move(v)); }
+
+// ---------------------------------------------------------------------------
+// Fingerprint basics
+// ---------------------------------------------------------------------------
+
+TEST(FingerprintTest, FirstTwoDistinctFindsPair) {
+  const auto d = FP({1.0, 1.0, 2.0, 3.0}).FirstTwoDistinct(kTol);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->first, 0u);
+  EXPECT_EQ(d->second, 2u);
+}
+
+TEST(FingerprintTest, ConstantHasNoDistinctPair) {
+  EXPECT_TRUE(FP({5.0, 5.0, 5.0}).IsConstant(kTol));
+  EXPECT_FALSE(FP({5.0, 5.0, 5.1}).IsConstant(kTol));
+  EXPECT_TRUE(FP({5.0}).IsConstant(kTol));
+  EXPECT_TRUE(FP({}).IsConstant(kTol));
+}
+
+TEST(FingerprintTest, ComputeIsDeterministicAndUsesFirstSeeds) {
+  CloudModelConfig cfg;
+  auto model = MakeDemandModel(cfg);
+  BlackBoxSimFunction fn(model);
+  SeedVector seeds(123, 100);
+  const std::vector<double> params = {10.0, 52.0};
+  Fingerprint a = ComputeFingerprint(fn, params, seeds, 10);
+  Fingerprint b = ComputeFingerprint(fn, params, seeds, 10);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(a[i], b[i]);
+  // The k'th entry is exactly sample k.
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(a[k], fn.Sample(params, k, seeds));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FindLinearMapping (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+TEST(LinearMappingTest, RecoversExactAffineMap) {
+  const Fingerprint theta1 = FP({0.0, 1.2, 2.3, 1.3, 1.5});
+  const Fingerprint theta2 = FP({0.1, 1.3, 2.4, 1.4, 1.6});
+  MappingPtr m = FindLinearMapping(theta1, theta2, kTol);
+  ASSERT_NE(m, nullptr);  // the paper's own example: M(x) = x + 0.1
+  auto affine = m->AsAffine();
+  ASSERT_TRUE(affine.has_value());
+  EXPECT_NEAR(affine->first, 1.0, 1e-12);
+  EXPECT_NEAR(affine->second, 0.1, 1e-12);
+}
+
+TEST(LinearMappingTest, PropertySweepRandomAffineMaps) {
+  // For random theta and random (alpha, beta), the mapping must be
+  // recovered and must invert correctly.
+  SplitMix64 rng(2024);
+  auto u = [&rng] {
+    return static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> base(10);
+    for (auto& x : base) x = u() * 20 - 10;
+    const double alpha = (u() - 0.5) * 6 + 0.01;
+    const double beta = (u() - 0.5) * 40;
+    std::vector<double> mapped;
+    for (double x : base) mapped.push_back(alpha * x + beta);
+    MappingPtr m = FindLinearMapping(FP(base), FP(mapped), kTol);
+    ASSERT_NE(m, nullptr) << "trial " << trial;
+    for (double x : base) {
+      EXPECT_NEAR(m->Apply(x), alpha * x + beta, 1e-6);
+    }
+    if (m->Invertible()) {
+      for (double x : base) {
+        EXPECT_NEAR(m->Invert(m->Apply(x)), x, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(LinearMappingTest, RejectsNonLinearRelation) {
+  const Fingerprint theta1 = FP({1.0, 2.0, 3.0, 4.0});
+  const Fingerprint theta2 = FP({1.0, 4.0, 9.0, 16.0});  // squares
+  EXPECT_EQ(FindLinearMapping(theta1, theta2, kTol), nullptr);
+}
+
+TEST(LinearMappingTest, RejectsSizeMismatchAndEmpty) {
+  EXPECT_EQ(FindLinearMapping(FP({1, 2}), FP({1, 2, 3}), kTol), nullptr);
+  EXPECT_EQ(FindLinearMapping(FP({}), FP({}), kTol), nullptr);
+}
+
+TEST(LinearMappingTest, ConstantToConstantIsTranslation) {
+  MappingPtr m = FindLinearMapping(FP({2, 2, 2}), FP({5, 5, 5}), kTol);
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->Apply(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(m->Apply(10.0), 13.0);  // translation by 3
+}
+
+TEST(LinearMappingTest, ConstantToVaryingHasNoMapping) {
+  EXPECT_EQ(FindLinearMapping(FP({2, 2, 2}), FP({1, 2, 3}), kTol), nullptr);
+}
+
+TEST(LinearMappingTest, VaryingToConstantIsDegenerateAlphaZero) {
+  MappingPtr m = FindLinearMapping(FP({1, 2, 3}), FP({7, 7, 7}), kTol);
+  ASSERT_NE(m, nullptr);
+  EXPECT_FALSE(m->Invertible());
+  EXPECT_DOUBLE_EQ(m->Apply(100.0), 7.0);
+}
+
+TEST(LinearMappingTest, IdentityIsCanonicalized) {
+  MappingPtr m = FindLinearMapping(FP({1, 2, 3}), FP({1, 2, 3}), kTol);
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->IsIdentity());
+}
+
+TEST(LinearMappingTest, NegativeAlphaSupported) {
+  MappingPtr m = FindLinearMapping(FP({0, 1, 2, 5}), FP({3, 1, -1, -7}), kTol);
+  ASSERT_NE(m, nullptr);
+  auto affine = m->AsAffine();
+  ASSERT_TRUE(affine);
+  EXPECT_NEAR(affine->first, -2.0, 1e-12);
+  EXPECT_NEAR(affine->second, 3.0, 1e-12);
+}
+
+TEST(LinearMappingTest, ToleranceRejectsNearMisses) {
+  const Fingerprint theta1 = FP({0.0, 1.0, 2.0, 3.0});
+  const Fingerprint theta2 = FP({0.0, 1.0, 2.0, 3.01});
+  EXPECT_EQ(FindLinearMapping(theta1, theta2, kTol), nullptr);
+  // A looser tolerance accepts it.
+  EXPECT_NE(FindLinearMapping(theta1, theta2, 1e-2), nullptr);
+}
+
+TEST(MappingTest, IdentitySingleton) {
+  EXPECT_TRUE(IdentityMapping::Make()->IsIdentity());
+  EXPECT_DOUBLE_EQ(IdentityMapping::Make()->Apply(3.5), 3.5);
+  EXPECT_DOUBLE_EQ(IdentityMapping::Make()->Invert(3.5), 3.5);
+}
+
+TEST(MappingTest, LinearToStringReadable) {
+  LinearMapping m(2.0, -1.0);
+  EXPECT_EQ(m.ToString(), "M(x) = 2*x + -1");
+}
+
+// ---------------------------------------------------------------------------
+// Normal forms & indexes (Section 3.2)
+// ---------------------------------------------------------------------------
+
+TEST(NormalFormTest, InvariantUnderAffineMaps) {
+  auto finder = LinearMappingFinder::Make();
+  SplitMix64 rng(31337);
+  auto u = [&rng] {
+    return static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> base(10);
+    for (auto& x : base) x = u() * 10 - 5;
+    const double alpha = (trial % 2 == 0 ? 1 : -1) * (u() * 3 + 0.1);
+    const double beta = u() * 8 - 4;
+    std::vector<double> mapped;
+    for (double x : base) mapped.push_back(alpha * x + beta);
+    auto nf1 = finder->NormalForm(FP(base), kTol, 1e-6);
+    auto nf2 = finder->NormalForm(FP(mapped), kTol, 1e-6);
+    ASSERT_TRUE(nf1 && nf2);
+    EXPECT_EQ(*nf1, *nf2) << "trial " << trial << " alpha=" << alpha;
+  }
+}
+
+TEST(NormalFormTest, DistinguishesUnrelatedFingerprints) {
+  auto finder = LinearMappingFinder::Make();
+  auto nf1 = finder->NormalForm(FP({0, 1, 2, 3}), kTol, 1e-6);
+  auto nf2 = finder->NormalForm(FP({0, 1, 4, 9}), kTol, 1e-6);
+  EXPECT_NE(*nf1, *nf2);
+}
+
+TEST(NormalFormTest, AllConstantsShareABucket) {
+  auto finder = LinearMappingFinder::Make();
+  auto nf1 = finder->NormalForm(FP({3, 3, 3}), kTol, 1e-6);
+  auto nf2 = finder->NormalForm(FP({-8, -8, -8}), kTol, 1e-6);
+  EXPECT_EQ(*nf1, *nf2);
+}
+
+TEST(SortedSidTest, InvariantUnderMonotoneIncreasingMaps) {
+  const Fingerprint base = FP({3.0, -1.0, 7.5, 0.2, 4.4});
+  std::vector<double> mapped;
+  for (double x : base.values()) mapped.push_back(std::exp(0.3 * x));  // monotone
+  EXPECT_EQ(SortedSidKey(base), SortedSidKey(FP(mapped)));
+}
+
+TEST(SortedSidTest, ReversedUnderMonotoneDecreasingMaps) {
+  const Fingerprint base = FP({3.0, -1.0, 7.5, 0.2, 4.4});
+  std::vector<double> mapped;
+  for (double x : base.values()) mapped.push_back(-2.0 * x + 1.0);
+  auto key = SortedSidKey(base);
+  auto rkey = SortedSidKey(FP(mapped));
+  std::reverse(rkey.begin(), rkey.end());
+  EXPECT_EQ(key, rkey);
+}
+
+class IndexKindTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(IndexKindTest, CandidatesAreSupersetOfTrueMatches) {
+  // Property: for any probe, the candidate set must contain every basis
+  // with a valid linear mapping (Array is the oracle by construction).
+  auto finder = LinearMappingFinder::Make();
+  auto index = MakeFingerprintIndex(GetParam(), finder, kTol, 1e-6);
+
+  SplitMix64 rng(777);
+  auto u = [&rng] {
+    return static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+  };
+  // 8 base shapes; 5 affine variants each.
+  std::vector<Fingerprint> all;
+  for (int shape = 0; shape < 8; ++shape) {
+    std::vector<double> base(10);
+    for (auto& x : base) x = u() * 10 - 5;
+    for (int variant = 0; variant < 5; ++variant) {
+      const double alpha = u() * 4 + 0.2;
+      const double beta = u() * 10 - 5;
+      std::vector<double> v;
+      for (double x : base) v.push_back(alpha * x + beta);
+      all.push_back(FP(v));
+    }
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    index->Insert(static_cast<BasisId>(i), all[i]);
+  }
+
+  std::vector<BasisId> candidates;
+  for (std::size_t probe = 0; probe < all.size(); ++probe) {
+    index->GetCandidates(all[probe], &candidates);
+    for (std::size_t b = 0; b < all.size(); ++b) {
+      if (finder->Find(all[b], all[probe], kTol) != nullptr) {
+        EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                            static_cast<BasisId>(b)),
+                  candidates.end())
+            << IndexKindName(GetParam()) << ": probe " << probe
+            << " missing true match " << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexKindTest,
+                         ::testing::Values(IndexKind::kArray,
+                                           IndexKind::kNormalization,
+                                           IndexKind::kSortedSid),
+                         [](const auto& info) {
+                           return IndexKindName(info.param);
+                         });
+
+TEST(IndexTest, NormalizationPrunesUnrelatedShapes) {
+  auto finder = LinearMappingFinder::Make();
+  auto index =
+      MakeFingerprintIndex(IndexKind::kNormalization, finder, kTol, 1e-6);
+  index->Insert(0, FP({0, 1, 2, 3, 4}));
+  index->Insert(1, FP({0, 1, 4, 9, 16}));
+  index->Insert(2, FP({5, 7, 9, 11, 13}));  // affine image of basis 0
+  std::vector<BasisId> candidates;
+  index->GetCandidates(FP({0, 2, 4, 6, 8}), &candidates);
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), 0u),
+            candidates.end());
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), 2u),
+            candidates.end());
+  EXPECT_EQ(std::find(candidates.begin(), candidates.end(), 1u),
+            candidates.end());
+}
+
+TEST(IndexTest, ArrayReturnsEverything) {
+  auto finder = LinearMappingFinder::Make();
+  auto index = MakeFingerprintIndex(IndexKind::kArray, finder, kTol, 1e-6);
+  index->Insert(0, FP({1, 2}));
+  index->Insert(1, FP({3, 4}));
+  std::vector<BasisId> candidates;
+  index->GetCandidates(FP({9, 9}), &candidates);
+  EXPECT_EQ(candidates.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics & M_est (Section 3's derived mapping on aggregates)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, EstimatorComputesSummary) {
+  Estimator est(/*keep_samples=*/true, /*histogram_bins=*/10);
+  for (int i = 1; i <= 100; ++i) est.Add(static_cast<double>(i));
+  OutputMetrics m = est.Finalize();
+  EXPECT_EQ(m.count, 100);
+  EXPECT_DOUBLE_EQ(m.mean, 50.5);
+  EXPECT_DOUBLE_EQ(m.min, 1.0);
+  EXPECT_DOUBLE_EQ(m.max, 100.0);
+  EXPECT_NEAR(m.p50, 50.5, 0.01);
+  EXPECT_NEAR(m.p95, 95.05, 0.01);
+  ASSERT_TRUE(m.histogram.has_value());
+  EXPECT_EQ(m.samples.size(), 100u);
+}
+
+TEST(MetricsTest, MappedMetricsEqualRecomputedMetrics) {
+  // Property: mapping cached metrics == recomputing metrics on mapped
+  // samples, for affine maps (this is the exactness claim behind reuse).
+  SplitMix64 rng(4242);
+  auto u = [&rng] {
+    return static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs(500);
+    for (auto& x : xs) x = u() * 100 - 50;
+    const double alpha = (trial % 3 == 0 ? -1 : 1) * (u() * 5 + 0.1);
+    const double beta = u() * 20 - 10;
+    OutputMetrics base = MetricsFromSamples(xs, true, 10);
+    LinearMapping mapping(alpha, beta);
+    auto mapped = base.MappedBy(mapping, 10);
+    ASSERT_TRUE(mapped.has_value());
+
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(alpha * x + beta);
+    OutputMetrics direct = MetricsFromSamples(ys, true, 10);
+
+    EXPECT_NEAR(mapped->mean, direct.mean, 1e-9 * (1 + std::fabs(direct.mean)));
+    EXPECT_NEAR(mapped->stddev, direct.stddev,
+                1e-9 * (1 + direct.stddev));
+    EXPECT_NEAR(mapped->min, direct.min, 1e-9 * (1 + std::fabs(direct.min)));
+    EXPECT_NEAR(mapped->max, direct.max, 1e-9 * (1 + std::fabs(direct.max)));
+    EXPECT_EQ(mapped->count, direct.count);
+  }
+}
+
+TEST(MetricsTest, MappedSamplesTransformElementwise) {
+  OutputMetrics base = MetricsFromSamples({1, 2, 3}, true, 4);
+  auto mapped = base.MappedBy(LinearMapping(2.0, 1.0), 4);
+  ASSERT_TRUE(mapped.has_value());
+  ASSERT_EQ(mapped->samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(mapped->samples[0], 3.0);
+  EXPECT_DOUBLE_EQ(mapped->samples[2], 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// BasisStore (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+TEST(BasisStoreTest, MissThenHit) {
+  BasisStore store(LinearMappingFinder::Make(), IndexKind::kNormalization,
+                   kTol, 1e-6);
+  const Fingerprint fp1 = FP({0, 1, 2, 3});
+  EXPECT_FALSE(store.FindMatch(fp1).has_value());
+  store.Insert(fp1, MetricsFromSamples({0, 1, 2, 3}, false, 4));
+  ASSERT_EQ(store.size(), 1u);
+
+  // An affine image must now hit, with the correct mapping.
+  const Fingerprint fp2 = FP({1, 3, 5, 7});  // 2x + 1
+  auto match = store.FindMatch(fp2);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->basis_id, 0u);
+  auto affine = match->mapping->AsAffine();
+  ASSERT_TRUE(affine);
+  EXPECT_NEAR(affine->first, 2.0, 1e-12);
+  EXPECT_NEAR(affine->second, 1.0, 1e-12);
+
+  const auto& stats = store.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(store.Get(0).reuse_count, 1u);
+}
+
+TEST(BasisStoreTest, UnrelatedShapesCreateSeparateBases) {
+  BasisStore store(LinearMappingFinder::Make(), IndexKind::kSortedSid, kTol,
+                   1e-6);
+  store.Insert(FP({0, 1, 2, 3}), {});
+  store.Insert(FP({0, 1, 4, 9}), {});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_FALSE(store.FindMatch(FP({3, 1, 0, 2})).has_value());
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,466 @@
+// Tests for the simulation engine: parameter spaces, the Figure 6 model
+// library's fingerprint behaviour, the fingerprint-accelerated runner
+// (reuse correctness and invocation accounting) and the batch optimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.h"
+#include "core/parameter_space.h"
+#include "core/sim_runner.h"
+#include "models/cloud_models.h"
+
+namespace jigsaw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParameterSpace
+// ---------------------------------------------------------------------------
+
+TEST(ParameterSpaceTest, RangeMaterializesInclusive) {
+  ParameterDef def{"w", RangeDomain{0, 52, 4}};
+  const auto values = def.Values();
+  ASSERT_EQ(values.size(), 14u);
+  EXPECT_DOUBLE_EQ(values.front(), 0.0);
+  EXPECT_DOUBLE_EQ(values.back(), 52.0);
+}
+
+TEST(ParameterSpaceTest, SetDomainKeepsOrder) {
+  ParameterDef def{"f", SetDomain{{12, 36, 44}}};
+  const auto values = def.Values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 12.0);
+  EXPECT_DOUBLE_EQ(values[2], 44.0);
+}
+
+TEST(ParameterSpaceTest, ChainContributesFactorOne) {
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"week", RangeDomain{0, 9, 1}}).ok());
+  ASSERT_TRUE(
+      space.Add({"release", ChainDomain{"release", "week", 52.0}}).ok());
+  EXPECT_EQ(space.NumPoints(), 10u);
+  const auto v = space.ValuationAt(3);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 52.0);  // chain initial value
+}
+
+TEST(ParameterSpaceTest, RowMajorEnumerationLastVariesFastest) {
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"a", SetDomain{{0, 1}}}).ok());
+  ASSERT_TRUE(space.Add({"b", SetDomain{{10, 20, 30}}}).ok());
+  EXPECT_EQ(space.NumPoints(), 6u);
+  EXPECT_EQ(space.ValuationAt(0), (std::vector<double>{0, 10}));
+  EXPECT_EQ(space.ValuationAt(1), (std::vector<double>{0, 20}));
+  EXPECT_EQ(space.ValuationAt(3), (std::vector<double>{1, 10}));
+  EXPECT_EQ(space.ValuationAt(5), (std::vector<double>{1, 30}));
+}
+
+TEST(ParameterSpaceTest, RejectsDuplicatesAndBadDomains) {
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"a", RangeDomain{0, 5, 1}}).ok());
+  EXPECT_EQ(space.Add({"A", RangeDomain{0, 5, 1}}).code(),
+            StatusCode::kAlreadyExists);  // case-insensitive
+  EXPECT_EQ(space.Add({"b", RangeDomain{0, 5, 0}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(space.Add({"c", RangeDomain{5, 0, 1}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(space.Add({"d", SetDomain{{}}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParameterSpaceTest, IndexOfIsCaseInsensitive) {
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"Purchase1", RangeDomain{0, 1, 1}}).ok());
+  EXPECT_TRUE(space.IndexOf("purchase1").has_value());
+  EXPECT_FALSE(space.IndexOf("purchase2").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 models: structure that drives fingerprint reuse
+// ---------------------------------------------------------------------------
+
+TEST(ModelTest, RegistryRegistersAllCloudModels) {
+  ModelRegistry registry;
+  ASSERT_TRUE(RegisterCloudModels(&registry).ok());
+  EXPECT_TRUE(registry.Contains("DemandModel"));
+  EXPECT_TRUE(registry.Contains("capacitymodel"));  // case-insensitive
+  EXPECT_TRUE(registry.Contains("OverloadModel"));
+  EXPECT_TRUE(registry.Contains("UserSelectionModel"));
+  EXPECT_TRUE(registry.Contains("SynthBasisModel"));
+  EXPECT_FALSE(registry.Lookup("NoSuchModel").ok());
+  EXPECT_EQ(RegisterCloudModels(&registry).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ModelTest, DemandGrowsLinearlyBeforeFeature) {
+  CloudModelConfig cfg;
+  auto model = MakeDemandModel(cfg);
+  SeedVector seeds(1, 2000);
+  double sum20 = 0, sum40 = 0;
+  for (std::size_t k = 0; k < 2000; ++k) {
+    sum20 += InvokeSeeded(*model, std::vector<double>{20.0, 52.0}, seeds.seed(k));
+    sum40 += InvokeSeeded(*model, std::vector<double>{40.0, 52.0}, seeds.seed(k));
+  }
+  EXPECT_NEAR(sum20 / 2000, 20.0, 0.5);
+  EXPECT_NEAR(sum40 / 2000, 40.0, 0.5);
+}
+
+TEST(ModelTest, DemandFeatureReleaseAddsGrowth) {
+  CloudModelConfig cfg;
+  auto model = MakeDemandModel(cfg);
+  SeedVector seeds(2, 2000);
+  double with = 0, without = 0;
+  for (std::size_t k = 0; k < 2000; ++k) {
+    without += InvokeSeeded(*model, std::vector<double>{40.0, 52.0},
+                            seeds.seed(k));
+    with += InvokeSeeded(*model, std::vector<double>{40.0, 20.0},
+                         seeds.seed(k));
+  }
+  // Post-release extra growth: 0.2 * (40-20) = 4 expected cores.
+  EXPECT_NEAR(with / 2000 - without / 2000, 4.0, 0.6);
+}
+
+TEST(ModelTest, CapacityStepsUpAfterPurchaseSettles) {
+  CloudModelConfig cfg;
+  auto model = MakeCapacityModel(cfg);
+  SeedVector seeds(3, 2000);
+  auto mean_at = [&](double week, double p1, double p2) {
+    double sum = 0;
+    for (std::size_t k = 0; k < 2000; ++k) {
+      sum += InvokeSeeded(*model, std::vector<double>{week, p1, p2},
+                          seeds.seed(k));
+    }
+    return sum / 2000;
+  };
+  // Before any purchase: base capacity.
+  EXPECT_NEAR(mean_at(5, 10, 30), cfg.base_capacity, 1.0);
+  // Long after both purchases: base + 2 * volume.
+  EXPECT_NEAR(mean_at(52, 10, 30),
+              cfg.base_capacity + 2 * cfg.purchase_volume, 2.0);
+  // Right after the first purchase: partially settled.
+  const double mid = mean_at(11, 10, 30);
+  EXPECT_GT(mid, cfg.base_capacity + 1.0);
+  EXPECT_LT(mid, cfg.base_capacity + cfg.purchase_volume);
+}
+
+TEST(ModelTest, OverloadIsBooleanAndMonotoneInWeek) {
+  CloudModelConfig cfg;
+  auto model = MakeOverloadModel(cfg);
+  SeedVector seeds(4, 1000);
+  auto rate_at = [&](double week) {
+    double sum = 0;
+    for (std::size_t k = 0; k < 1000; ++k) {
+      const double v = InvokeSeeded(
+          *model, std::vector<double>{week, 200.0, 200.0}, seeds.seed(k));
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+      sum += v;
+    }
+    return sum / 1000;
+  };
+  // With no purchases landing, demand (mean=week) crosses the base
+  // capacity (40) around week 40.
+  EXPECT_LT(rate_at(20), 0.01);
+  EXPECT_GT(rate_at(70), 0.99);
+}
+
+TEST(ModelTest, UserSelectionGrowsWithActivePopulation) {
+  CloudModelConfig cfg;
+  cfg.num_users = 500;
+  auto model = MakeUserSelectionModel(cfg);
+  SeedVector seeds(5, 200);
+  double early = 0, late = 0;
+  for (std::size_t k = 0; k < 200; ++k) {
+    early += InvokeSeeded(*model, std::vector<double>{1.0}, seeds.seed(k));
+    late += InvokeSeeded(*model, std::vector<double>{200.0}, seeds.seed(k));
+  }
+  EXPECT_GT(late, early);
+}
+
+TEST(ModelTest, UserProfileIsDeterministicData) {
+  double s1, b1, s2, b2;
+  DeriveUserProfile(17, 0.05, 0.05, &s1, &b1);
+  DeriveUserProfile(17, 0.05, 0.05, &s2, &b2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(b1, b2);
+  DeriveUserProfile(18, 0.05, 0.05, &s2, &b2);
+  EXPECT_TRUE(s1 != s2 || b1 != b2);
+}
+
+TEST(ModelTest, SynthBasisSameClassIsLinearlyMappable) {
+  CloudModelConfig cfg;
+  cfg.synth_num_basis = 4;
+  auto model = MakeSynthBasisModel(cfg);
+  BlackBoxSimFunction fn(model);
+  SeedVector seeds(6, 100);
+  // Points 3 and 7 share class 3 (mod 4); 3 and 6 do not.
+  Fingerprint fp3 = ComputeFingerprint(fn, std::vector<double>{3.0}, seeds, 10);
+  Fingerprint fp7 = ComputeFingerprint(fn, std::vector<double>{7.0}, seeds, 10);
+  Fingerprint fp6 = ComputeFingerprint(fn, std::vector<double>{6.0}, seeds, 10);
+  EXPECT_NE(FindLinearMapping(fp3, fp7, 1e-9), nullptr);
+  EXPECT_EQ(FindLinearMapping(fp3, fp6, 1e-9), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SimulationRunner: Algorithm 3 in the loop
+// ---------------------------------------------------------------------------
+
+RunConfig SmallConfig(std::size_t n = 200, std::size_t m = 10) {
+  RunConfig cfg;
+  cfg.num_samples = n;
+  cfg.fingerprint_size = m;
+  return cfg;
+}
+
+TEST(SimRunnerTest, ReusedMetricsEqualFullSimulation) {
+  // The paper's correctness claim (Section 6.2): "outputs of Jigsaw are
+  // equivalent to full simulation for each possible parameter value."
+  // For the Demand model every week maps linearly, so reused metrics must
+  // match a from-scratch naive run to numerical precision.
+  CloudModelConfig mcfg;
+  auto model = MakeDemandModel(mcfg);
+  BlackBoxSimFunction fn(model);
+
+  SimulationRunner jigsaw_runner(SmallConfig());
+  RunConfig naive_cfg = SmallConfig();
+  naive_cfg.use_fingerprints = false;
+  SimulationRunner naive_runner(naive_cfg);
+
+  for (double week : {5.0, 10.0, 20.0, 40.0}) {
+    const std::vector<double> params = {week, 52.0};
+    const auto fast = jigsaw_runner.RunPoint(fn, params);
+    const auto slow = naive_runner.RunPoint(fn, params);
+    EXPECT_NEAR(fast.metrics.mean, slow.metrics.mean,
+                1e-6 * (1 + std::fabs(slow.metrics.mean)))
+        << "week " << week;
+    EXPECT_NEAR(fast.metrics.stddev, slow.metrics.stddev,
+                1e-6 * (1 + slow.metrics.stddev));
+  }
+  // At least one of the later weeks must have been served via reuse.
+  EXPECT_GT(jigsaw_runner.stats().points_reused, 0u);
+}
+
+TEST(SimRunnerTest, ReuseSavesInvocations) {
+  CloudModelConfig mcfg;
+  auto model = MakeDemandModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  SimulationRunner runner(SmallConfig(1000, 10));
+
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"week", RangeDomain{1, 50, 1}}).ok());
+  ASSERT_TRUE(space.Add({"feature", SetDomain{{52.0}}}).ok());
+  const auto results = runner.RunSweep(fn, space);
+  ASSERT_EQ(results.size(), 50u);
+
+  const auto& stats = runner.stats();
+  EXPECT_EQ(stats.points_evaluated, 50u);
+  // Weeks 2..50 all map onto week 1's basis: 49 reuses.
+  EXPECT_GE(stats.points_reused, 45u);
+  // Invocations ~ 50*m + (few bases)*(n-m), far below the naive 50*n.
+  EXPECT_LT(stats.blackbox_invocations, 50u * 1000u / 10u);
+}
+
+TEST(SimRunnerTest, NaiveModeNeverReuses) {
+  CloudModelConfig mcfg;
+  auto model = MakeDemandModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  RunConfig cfg = SmallConfig(100, 10);
+  cfg.use_fingerprints = false;
+  SimulationRunner runner(cfg);
+  for (double week : {1.0, 2.0, 3.0}) {
+    runner.RunPoint(fn, std::vector<double>{week, 52.0});
+  }
+  EXPECT_EQ(runner.stats().points_reused, 0u);
+  EXPECT_EQ(runner.stats().blackbox_invocations, 300u);
+}
+
+TEST(SimRunnerTest, SynthBasisProducesExactBasisCount) {
+  CloudModelConfig mcfg;
+  mcfg.synth_num_basis = 7;
+  auto model = MakeSynthBasisModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  SimulationRunner runner(SmallConfig(100, 10));
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"point", RangeDomain{0, 99, 1}}).ok());
+  runner.RunSweep(fn, space);
+  EXPECT_EQ(runner.basis_store().size(), 7u);
+}
+
+TEST(SimRunnerTest, BooleanOutputsReuseOnlyWhenIdentical) {
+  // Overload-style booleans: zero-overload regions share one constant
+  // basis; mixed regions rarely map. Reuse exists but is limited — the
+  // Figure 8 effect.
+  CloudModelConfig mcfg;
+  auto model = MakeOverloadModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  SimulationRunner runner(SmallConfig(200, 10));
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"week", RangeDomain{1, 60, 1}}).ok());
+  ASSERT_TRUE(space.Add({"p1", SetDomain{{20.0}}}).ok());
+  ASSERT_TRUE(space.Add({"p2", SetDomain{{40.0}}}).ok());
+  const auto results = runner.RunSweep(fn, space);
+  EXPECT_GT(runner.stats().points_reused, 10u);  // all-zero weeks collapse
+  for (const auto& r : results) {
+    EXPECT_GE(r.metrics.mean, 0.0);
+    EXPECT_LE(r.metrics.mean, 1.0);
+  }
+}
+
+TEST(SimRunnerTest, KeepSamplesRetainsMappedSamples) {
+  CloudModelConfig mcfg;
+  auto model = MakeDemandModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  RunConfig cfg = SmallConfig(50, 5);
+  cfg.keep_samples = true;
+  SimulationRunner runner(cfg);
+  runner.RunPoint(fn, std::vector<double>{10.0, 52.0});
+  const auto reused = runner.RunPoint(fn, std::vector<double>{20.0, 52.0});
+  if (reused.reused) {
+    EXPECT_EQ(reused.metrics.samples.size(), 50u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer & Selector
+// ---------------------------------------------------------------------------
+
+TEST(SelectorTest, LexicographicObjectives) {
+  Selector sel({{"p1", true}, {"p2", false}}, {"p1", "p2"});
+  EXPECT_TRUE(sel.Better({2, 5}, {1, 0}));   // larger p1 wins
+  EXPECT_FALSE(sel.Better({1, 5}, {2, 0}));  // smaller p1 loses
+  EXPECT_TRUE(sel.Better({2, 1}, {2, 3}));   // tie on p1 -> smaller p2 wins
+  EXPECT_FALSE(sel.Better({2, 3}, {2, 3}));  // exact tie keeps incumbent
+}
+
+Scenario MakeCapacityScenario(const CloudModelConfig& mcfg) {
+  Scenario scenario;
+  EXPECT_TRUE(
+      scenario.params.Add({"week", RangeDomain{0, 30, 5}}).ok());
+  EXPECT_TRUE(
+      scenario.params.Add({"purchase", RangeDomain{0, 20, 5}}).ok());
+  auto overload = MakeOverloadModel(mcfg);
+  // Adapt the 3-parameter Overload model: purchase2 mirrors purchase1.
+  scenario.columns.push_back(ScenarioColumn{
+      "overload",
+      std::make_shared<CallableSimFunction>(
+          "overload",
+          [overload](std::span<const double> p, std::size_t k,
+                     const SeedVector& seeds) {
+            const std::vector<double> args = {p[0], p[1], p[1]};
+            return InvokeSeeded(*overload, args, seeds.seed(k));
+          })});
+  return scenario;
+}
+
+TEST(OptimizerTest, FindsLatestFeasiblePurchase) {
+  CloudModelConfig mcfg;
+  Scenario scenario = MakeCapacityScenario(mcfg);
+
+  OptimizeSpec spec;
+  spec.group_params = {"purchase"};
+  spec.constraints.push_back(MetricConstraint{
+      SweepAgg::kMax, MetricSelector::kExpect, "overload", CmpOp::kLt, 0.5});
+  spec.objectives.push_back(ObjectiveTerm{"purchase", true});
+
+  SimulationRunner runner(SmallConfig(300, 10));
+  Optimizer optimizer(&runner);
+  auto result = optimizer.Run(scenario, spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& r = result.value();
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.groups.size(), 5u);  // purchases 0,5,10,15,20
+  // Early purchases keep overload low through week 30; among feasible
+  // ones the optimizer must pick the LATEST (FOR MAX).
+  double latest_feasible = -1;
+  for (const auto& g : r.groups) {
+    if (g.feasible) latest_feasible = std::max(latest_feasible,
+                                               g.group_valuation[0]);
+  }
+  EXPECT_DOUBLE_EQ(r.best_valuation[0], latest_feasible);
+}
+
+TEST(OptimizerTest, InfeasibleEverywhereReportsNotFound) {
+  CloudModelConfig mcfg;
+  Scenario scenario = MakeCapacityScenario(mcfg);
+  OptimizeSpec spec;
+  spec.group_params = {"purchase"};
+  spec.constraints.push_back(MetricConstraint{
+      SweepAgg::kMax, MetricSelector::kExpect, "overload", CmpOp::kLt,
+      -1.0});  // impossible
+  spec.objectives.push_back(ObjectiveTerm{"purchase", true});
+  SimulationRunner runner(SmallConfig(100, 10));
+  Optimizer optimizer(&runner);
+  auto result = optimizer.Run(scenario, spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().found);
+  EXPECT_NE(result.value().ToString().find("no feasible"),
+            std::string::npos);
+}
+
+TEST(OptimizerTest, RejectsUndeclaredGroupParam) {
+  CloudModelConfig mcfg;
+  Scenario scenario = MakeCapacityScenario(mcfg);
+  OptimizeSpec spec;
+  spec.group_params = {"nope"};
+  SimulationRunner runner(SmallConfig(50, 10));
+  Optimizer optimizer(&runner);
+  EXPECT_EQ(optimizer.Run(scenario, spec).status().code(),
+            StatusCode::kBindError);
+}
+
+TEST(OptimizerTest, RejectsUnknownConstraintColumn) {
+  CloudModelConfig mcfg;
+  Scenario scenario = MakeCapacityScenario(mcfg);
+  OptimizeSpec spec;
+  spec.group_params = {"purchase"};
+  spec.constraints.push_back(MetricConstraint{
+      SweepAgg::kMax, MetricSelector::kExpect, "ghost", CmpOp::kLt, 1.0});
+  SimulationRunner runner(SmallConfig(50, 10));
+  Optimizer optimizer(&runner);
+  EXPECT_EQ(optimizer.Run(scenario, spec).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(OptimizerTest, EmptyGroupListIsError) {
+  CloudModelConfig mcfg;
+  Scenario scenario = MakeCapacityScenario(mcfg);
+  SimulationRunner runner(SmallConfig(50, 10));
+  Optimizer optimizer(&runner);
+  EXPECT_FALSE(optimizer.Run(scenario, {}).ok());
+}
+
+TEST(MetricSelectorTest, ExtractsEachField) {
+  OutputMetrics m;
+  m.mean = 1;
+  m.stddev = 2;
+  m.std_error = 3;
+  m.min = 4;
+  m.max = 5;
+  m.p50 = 6;
+  m.p95 = 7;
+  EXPECT_EQ(ExtractMetric(m, MetricSelector::kExpect), 1);
+  EXPECT_EQ(ExtractMetric(m, MetricSelector::kStdDev), 2);
+  EXPECT_EQ(ExtractMetric(m, MetricSelector::kStdError), 3);
+  EXPECT_EQ(ExtractMetric(m, MetricSelector::kMin), 4);
+  EXPECT_EQ(ExtractMetric(m, MetricSelector::kMax), 5);
+  EXPECT_EQ(ExtractMetric(m, MetricSelector::kMedian), 6);
+  EXPECT_EQ(ExtractMetric(m, MetricSelector::kP95), 7);
+}
+
+TEST(ConstraintTest, CompareOperators) {
+  MetricConstraint c;
+  c.threshold = 1.0;
+  c.cmp = CmpOp::kLt;
+  EXPECT_TRUE(c.Compare(0.5));
+  EXPECT_FALSE(c.Compare(1.0));
+  c.cmp = CmpOp::kLe;
+  EXPECT_TRUE(c.Compare(1.0));
+  c.cmp = CmpOp::kGt;
+  EXPECT_TRUE(c.Compare(1.5));
+  EXPECT_FALSE(c.Compare(1.0));
+  c.cmp = CmpOp::kGe;
+  EXPECT_TRUE(c.Compare(1.0));
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,214 @@
+// Tests for the interactive online mode (Section 5, Algorithm 5) and the
+// ASCII graph renderer that stands in for the Fuzzy Prophet GUI.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interactive/ascii_graph.h"
+#include "interactive/interactive_session.h"
+#include "models/cloud_models.h"
+
+namespace jigsaw {
+namespace {
+
+InteractiveConfig SmallConfig() {
+  InteractiveConfig cfg;
+  cfg.run.num_samples = 1000;
+  cfg.run.fingerprint_size = 10;
+  cfg.max_samples = 1000;
+  cfg.batch_size = 10;
+  return cfg;
+}
+
+ParameterSpace DemandSpace() {
+  ParameterSpace space;
+  EXPECT_TRUE(space.Add({"week", RangeDomain{1, 30, 1}}).ok());
+  EXPECT_TRUE(space.Add({"feature", SetDomain{{52.0}}}).ok());
+  return space;
+}
+
+SimFunctionPtr DemandFn() {
+  CloudModelConfig cfg;
+  return std::make_shared<BlackBoxSimFunction>(MakeDemandModel(cfg));
+}
+
+TEST(InteractiveTest, FirstTickProducesAnEstimate) {
+  InteractiveSession session(DemandFn(), DemandSpace(), SmallConfig());
+  ASSERT_TRUE(session.SetFocus(9).ok());  // week 10
+  EXPECT_FALSE(session.EstimateFor(9).available);
+  session.Tick();
+  const DisplayEstimate est = session.EstimateFor(9);
+  ASSERT_TRUE(est.available);
+  EXPECT_GT(est.support, 0);
+  // Even a 10-sample estimate should be in the right ballpark (week 10
+  // demand has mean 10, sd ~1).
+  EXPECT_NEAR(est.mean, 10.0, 3.0);
+}
+
+TEST(InteractiveTest, EstimateConvergesWithTicks) {
+  InteractiveSession session(DemandFn(), DemandSpace(), SmallConfig());
+  ASSERT_TRUE(session.SetFocus(19).ok());  // week 20
+  session.Run(200);
+  const DisplayEstimate est = session.EstimateFor(19);
+  ASSERT_TRUE(est.available);
+  EXPECT_GT(est.support, 100);
+  EXPECT_NEAR(est.mean, 20.0, 0.8);
+  EXPECT_LT(est.std_error, 0.5);
+}
+
+TEST(InteractiveTest, NeighborsBorrowThroughMappedBasis) {
+  InteractiveSession session(DemandFn(), DemandSpace(), SmallConfig());
+  ASSERT_TRUE(session.SetFocus(9).ok());
+  session.Run(300);
+  // Exploration has touched neighbors; mapped estimates come for free.
+  EXPECT_GT(session.stats().borrow_hits, 0u);
+  // All demand weeks are linearly mappable: few bases for many touched
+  // points.
+  EXPECT_LE(session.basis_count(), 3u);
+  // A neighbor estimate is available and correct despite never being the
+  // focus.
+  const DisplayEstimate n8 = session.EstimateFor(8);
+  if (n8.available) {
+    EXPECT_NEAR(n8.mean, 9.0, 2.0);
+  }
+}
+
+TEST(InteractiveTest, RefinementSharpensSharedBasis) {
+  InteractiveSession session(DemandFn(), DemandSpace(), SmallConfig());
+  ASSERT_TRUE(session.SetFocus(4).ok());
+  session.Run(20);
+  const double se_early = session.EstimateFor(4).std_error;
+  session.Run(400);
+  const double se_late = session.EstimateFor(4).std_error;
+  EXPECT_LT(se_late, se_early);
+}
+
+TEST(InteractiveTest, TaskMixIncludesAllKinds) {
+  InteractiveSession session(DemandFn(), DemandSpace(), SmallConfig());
+  ASSERT_TRUE(session.SetFocus(9).ok());
+  bool saw_refine = false, saw_validate = false, saw_explore = false;
+  for (int i = 0; i < 300; ++i) {
+    switch (session.Tick()) {
+      case InteractiveTask::kRefinement:
+        saw_refine = true;
+        break;
+      case InteractiveTask::kValidation:
+        saw_validate = true;
+        break;
+      case InteractiveTask::kExploration:
+        saw_explore = true;
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_refine);
+  EXPECT_TRUE(saw_validate);
+  EXPECT_TRUE(saw_explore);
+}
+
+TEST(InteractiveTest, ValidationDetectsFalseSharingAndRebinds) {
+  // A function engineered to fool a 10-sample fingerprint: points 0 and 1
+  // agree on sample ids < 12 but diverge beyond. Validation must catch
+  // the bad mapping and rebind.
+  auto fn = std::make_shared<CallableSimFunction>(
+      "trap",
+      [](std::span<const double> p, std::size_t k, const SeedVector& seeds) {
+        RandomStream rng(DeriveStreamSeed(seeds.seed(k), 7));
+        const double base = rng.Gaussian();
+        if (p[0] > 0.5 && k >= 12) return base * 3.0 + 100.0;
+        return base;
+      });
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"p", SetDomain{{0.0, 1.0}}}).ok());
+
+  InteractiveConfig cfg = SmallConfig();
+  cfg.validation_weight = 0.5;
+  InteractiveSession session(fn, space, cfg);
+
+  ASSERT_TRUE(session.SetFocus(0).ok());
+  session.Run(50);
+  ASSERT_TRUE(session.SetFocus(1).ok());
+  session.Run(200);
+  // The trap point must eventually detach from point 0's basis...
+  EXPECT_GT(session.stats().rebinds, 0u);
+  // ...and its estimate must reflect the true (shifted) distribution.
+  const DisplayEstimate est = session.EstimateFor(1);
+  ASSERT_TRUE(est.available);
+  EXPECT_GT(est.mean, 50.0);
+}
+
+TEST(InteractiveTest, SetFocusValidatesRange) {
+  InteractiveSession session(DemandFn(), DemandSpace(), SmallConfig());
+  EXPECT_TRUE(session.SetFocus(0).ok());
+  EXPECT_EQ(session.SetFocus(10000).code(), StatusCode::kOutOfRange);
+}
+
+TEST(InteractiveTest, StatsCountEvaluations) {
+  InteractiveSession session(DemandFn(), DemandSpace(), SmallConfig());
+  ASSERT_TRUE(session.SetFocus(3).ok());
+  session.Run(10);
+  EXPECT_EQ(session.stats().ticks, 10u);
+  EXPECT_GT(session.stats().evaluations, 0u);
+  EXPECT_LE(session.stats().evaluations, 10u * 10u);
+}
+
+// ---------------------------------------------------------------------------
+// ASCII graph renderer
+// ---------------------------------------------------------------------------
+
+TEST(AsciiGraphTest, GlyphMappingIsStable) {
+  EXPECT_EQ(GlyphForStyle("bold red", 0), '#');
+  EXPECT_EQ(GlyphForStyle("red", 0), '*');
+  EXPECT_EQ(GlyphForStyle("blue y2", 0), '+');
+  EXPECT_EQ(GlyphForStyle("orange y2", 0), 'o');
+  EXPECT_EQ(GlyphForStyle("", 0), '*');
+  EXPECT_EQ(GlyphForStyle("", 1), '+');
+}
+
+TEST(AsciiGraphTest, RendersSeriesPointsAndLegend) {
+  AsciiSeries s;
+  s.label = "demand";
+  s.style = "bold red";
+  for (int i = 0; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i * 2.0);
+  }
+  const std::string out = RenderAsciiGraph({s});
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("demand"), std::string::npos);
+  EXPECT_NE(out.find("bold red"), std::string::npos);
+  // Axis labels include the y range.
+  EXPECT_NE(out.find("20"), std::string::npos);
+}
+
+TEST(AsciiGraphTest, EmptyDataHandledGracefully) {
+  EXPECT_EQ(RenderAsciiGraph({}), "(no data)\n");
+  AsciiSeries s;
+  s.label = "empty";
+  EXPECT_EQ(RenderAsciiGraph({s}), "(no data)\n");
+}
+
+TEST(AsciiGraphTest, ConstantSeriesDoesNotDivideByZero) {
+  AsciiSeries s;
+  s.label = "flat";
+  s.x = {0, 1, 2};
+  s.y = {5, 5, 5};
+  const std::string out = RenderAsciiGraph({s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiGraphTest, MultipleSeriesShareScale) {
+  AsciiSeries a, b;
+  a.label = "low";
+  a.x = {0, 1};
+  a.y = {0, 1};
+  b.label = "high";
+  b.x = {0, 1};
+  b.y = {9, 10};
+  const std::string out = RenderAsciiGraph({a, b});
+  EXPECT_NE(out.find("low"), std::string::npos);
+  EXPECT_NE(out.find("high"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,511 @@
+// Tests for the Jigsaw query language: lexer, parser (Figure 1 / Figure 5
+// syntax), binder (name resolution, call-site assignment, chain
+// validation) and the end-to-end script runner.
+
+#include <gtest/gtest.h>
+
+#include "models/cloud_models.h"
+#include "sql/binder.h"
+#include "sql/chain_process.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/script_runner.h"
+
+namespace jigsaw::sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = Lex("SELECT a, @p FROM t;");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = tokens.value();
+  ASSERT_EQ(ts.size(), 8u);  // SELECT a , @p FROM t ; <end>
+  EXPECT_EQ(ts[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(ts[0].text, "SELECT");
+  EXPECT_EQ(ts[2].kind, TokenKind::kSymbol);
+  EXPECT_EQ(ts[3].kind, TokenKind::kParam);
+  EXPECT_EQ(ts[3].text, "p");
+  EXPECT_EQ(ts.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Lex("42 2.5 1e3 'hi there'");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = tokens.value();
+  EXPECT_DOUBLE_EQ(ts[0].number, 42.0);
+  EXPECT_DOUBLE_EQ(ts[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(ts[2].number, 1000.0);
+  EXPECT_EQ(ts[3].kind, TokenKind::kString);
+  EXPECT_EQ(ts[3].text, "hi there");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Lex("-- DEFINITION --\nSELECT x -- trailing\n");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 3u);  // SELECT x <end>
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = Lex("a <= b >= c <> d != e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].text, "<=");
+  EXPECT_EQ(tokens.value()[3].text, ">=");
+  EXPECT_EQ(tokens.value()[5].text, "<>");
+  EXPECT_EQ(tokens.value()[7].text, "!=");
+}
+
+TEST(LexerTest, TracksLinePositions) {
+  auto tokens = Lex("a\nbb\n  c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].line, 1u);
+  EXPECT_EQ(tokens.value()[1].line, 2u);
+  EXPECT_EQ(tokens.value()[2].line, 3u);
+  EXPECT_EQ(tokens.value()[2].column, 3u);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("@ x").ok());       // bare @
+  EXPECT_FALSE(Lex("'unclosed").ok());  // unterminated string
+  EXPECT_FALSE(Lex("a $ b").ok());      // stray character
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, DeclareRange) {
+  auto script = ParseScript(
+      "DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script.value().statements.size(), 1u);
+  const auto& d = *script.value().statements[0].declare;
+  EXPECT_EQ(d.param, "current_week");
+  ASSERT_TRUE(d.range.has_value());
+  EXPECT_DOUBLE_EQ(d.range->lo, 0);
+  EXPECT_DOUBLE_EQ(d.range->hi, 52);
+  EXPECT_DOUBLE_EQ(d.range->step, 1);
+}
+
+TEST(ParserTest, DeclareSetAndNegativeNumbers) {
+  auto script =
+      ParseScript("DECLARE PARAMETER @f AS SET (12, -36, 44.5);");
+  ASSERT_TRUE(script.ok());
+  const auto& d = *script.value().statements[0].declare;
+  ASSERT_TRUE(d.set.has_value());
+  ASSERT_EQ(d.set->values.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.set->values[1], -36.0);
+}
+
+TEST(ParserTest, DeclareChainFigure5Syntax) {
+  auto script = ParseScript(
+      "DECLARE PARAMETER @release_week AS CHAIN release_week "
+      "FROM @current_week : @current_week - 1 INITIAL VALUE 52;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  const auto& d = *script.value().statements[0].declare;
+  ASSERT_TRUE(d.chain.has_value());
+  EXPECT_EQ(d.chain->column, "release_week");
+  EXPECT_EQ(d.chain->driver_param, "current_week");
+  EXPECT_DOUBLE_EQ(d.chain->initial, 52.0);
+  EXPECT_EQ(d.chain->source_step->ToString(), "(@current_week - 1)");
+}
+
+TEST(ParserTest, Figure1QueryParses) {
+  // The batch-mode query of the paper's Figure 1, verbatim modulo model
+  // names.
+  const char* kQuery = R"(
+-- DEFINITION --
+DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @feature_release AS SET (12,36,44);
+SELECT DemandModel(@current_week, @feature_release)
+         AS demand,
+       CapacityModel(@current_week, @purchase1, @purchase2)
+         AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END
+         AS overload
+INTO results;
+-- BATCH MODE --
+OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.01
+GROUP BY feature_release, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2
+)";
+  auto script = ParseScript(kQuery);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script.value().statements.size(), 6u);
+
+  const auto& sel = *script.value().statements[4].select;
+  ASSERT_EQ(sel.items.size(), 3u);
+  EXPECT_EQ(sel.items[0].alias, "demand");
+  EXPECT_EQ(sel.items[2].alias, "overload");
+  EXPECT_EQ(sel.into_table, "results");
+
+  const auto& opt = *script.value().statements[5].optimize;
+  EXPECT_EQ(opt.select_params.size(), 3u);
+  EXPECT_EQ(opt.from_table, "results");
+  ASSERT_EQ(opt.constraints.size(), 1u);
+  EXPECT_EQ(opt.constraints[0].sweep_agg, "MAX");
+  EXPECT_EQ(opt.constraints[0].metric, "EXPECT");
+  EXPECT_EQ(opt.constraints[0].column, "overload");
+  EXPECT_EQ(opt.constraints[0].cmp, "<");
+  EXPECT_DOUBLE_EQ(opt.constraints[0].threshold, 0.01);
+  ASSERT_EQ(opt.group_by.size(), 3u);
+  ASSERT_EQ(opt.objectives.size(), 2u);
+  EXPECT_TRUE(opt.objectives[0].maximize);
+  EXPECT_EQ(opt.objectives[0].param, "purchase1");
+}
+
+TEST(ParserTest, GraphQueryParses) {
+  auto script = ParseScript(
+      "DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;"
+      "SELECT 1 AS overload, 2 AS capacity, 3 AS demand INTO results;"
+      "GRAPH OVER @current_week "
+      "EXPECT overload WITH bold red, "
+      "EXPECT capacity WITH blue y2, "
+      "EXPECT_STDDEV demand WITH orange y2");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  const auto& g = *script.value().statements[2].graph;
+  EXPECT_EQ(g.x_param, "current_week");
+  ASSERT_EQ(g.series.size(), 3u);
+  EXPECT_EQ(g.series[0].metric, "EXPECT");
+  EXPECT_EQ(g.series[0].column, "overload");
+  EXPECT_EQ(g.series[0].style, (std::vector<std::string>{"bold", "red"}));
+  EXPECT_EQ(g.series[2].metric, "EXPECT_STDDEV");
+}
+
+TEST(ParserTest, SubqueryFromClause) {
+  auto script = ParseScript(
+      "SELECT ReleaseWeekModel(demand) AS release_week, demand "
+      "FROM (SELECT DemandModel(@w, @r) AS demand) INTO results;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  const auto& sel = *script.value().statements[0].select;
+  ASSERT_NE(sel.from_subquery, nullptr);
+  ASSERT_EQ(sel.from_subquery->items.size(), 1u);
+  EXPECT_EQ(sel.from_subquery->items[0].alias, "demand");
+  // `demand` without AS keeps its own name as alias.
+  EXPECT_EQ(sel.items[1].alias, "demand");
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 < 10 - 2");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->ToString(), "((1 + (2 * 3)) < (10 - 2))");
+  auto e2 = ParseExpression("(1 + 2) * 3");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e2.value()->ToString(), "((1 + 2) * 3)");
+  auto e3 = ParseExpression("NOT a AND b OR c");
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(e3.value()->ToString(), "((NOT a AND b) OR c)");
+  auto e4 = ParseExpression("-x * 2");
+  ASSERT_TRUE(e4.ok());
+  EXPECT_EQ(e4.value()->ToString(), "(-x * 2)");
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  auto bad = ParseScript("DECLARE PARAMETER current_week AS RANGE 0 TO 5;");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("@parameter"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseScript("SELECT;").ok());
+  EXPECT_FALSE(ParseScript("DECLARE PARAMETER @p AS TRIANGLE 1;").ok());
+  EXPECT_FALSE(ParseScript("OPTIMIZE SELECT @p FROM t GROUP BY;").ok());
+  EXPECT_FALSE(ParseScript("GRAPH OVER @p BOGUS col;").ok());
+  EXPECT_FALSE(ParseScript("SELECT CASE END;").ok());
+  EXPECT_FALSE(ParseScript("FROB x;").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Binder
+// ---------------------------------------------------------------------------
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RegisterCloudModels(&registry_).ok());
+  }
+  ModelRegistry registry_;
+};
+
+constexpr const char* kFigure1 = R"(
+DECLARE PARAMETER @current_week AS RANGE 0 TO 20 STEP BY 2;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 16 STEP BY 8;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 16 STEP BY 8;
+DECLARE PARAMETER @feature_release AS SET (12,36,44);
+SELECT DemandModel(@current_week, @feature_release) AS demand,
+       CapacityModel(@current_week, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.5
+GROUP BY feature_release, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2
+)";
+
+TEST_F(BinderTest, BindsFigure1Scenario) {
+  auto bound = ParseAndBind(kFigure1, registry_);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const auto& b = bound.value();
+  EXPECT_EQ(b.scenario.params.num_params(), 4u);
+  ASSERT_EQ(b.scenario.columns.size(), 3u);
+  EXPECT_EQ(b.scenario.columns[2].name, "overload");
+  EXPECT_EQ(b.scenario.into_table, "results");
+  ASSERT_TRUE(b.optimize.has_value());
+  EXPECT_EQ(b.optimize->group_params.size(), 3u);
+  EXPECT_FALSE(b.chain.has_value());
+
+  // The overload column must be evaluable and boolean.
+  SeedVector seeds(42, 4);
+  const auto v = b.scenario.params.ValuationAt(0);
+  const double overload = b.scenario.columns[2].fn->Sample(v, 0, seeds);
+  EXPECT_TRUE(overload == 0.0 || overload == 1.0);
+}
+
+TEST_F(BinderTest, AliasReferenceCrossColumnIsConsistent) {
+  // `overload` recomputes demand and capacity through alias refs; the
+  // values must be the same draws the sibling columns produced (same
+  // call sites, same world).
+  auto bound = ParseAndBind(kFigure1, registry_);
+  ASSERT_TRUE(bound.ok());
+  const auto& b = bound.value();
+  SeedVector seeds(43, 8);
+  const auto v = b.scenario.params.ValuationAt(5);
+  for (std::size_t k = 0; k < 8; ++k) {
+    const double demand = b.scenario.columns[0].fn->Sample(v, k, seeds);
+    const double capacity = b.scenario.columns[1].fn->Sample(v, k, seeds);
+    const double overload = b.scenario.columns[2].fn->Sample(v, k, seeds);
+    EXPECT_DOUBLE_EQ(overload, capacity < demand ? 1.0 : 0.0);
+  }
+}
+
+TEST_F(BinderTest, BindsFigure5ChainScenario) {
+  const char* kFigure5 = R"(
+DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @release_week AS CHAIN release_week
+  FROM @current_week : @current_week - 1 INITIAL VALUE 52;
+SELECT CASE WHEN demand > 26 AND @current_week + 4 < @release_week
+            THEN @current_week + 4 ELSE @release_week END AS release_week,
+       demand
+FROM (SELECT DemandModel(@current_week, @release_week) AS demand)
+INTO results;
+)";
+  auto bound = ParseAndBind(kFigure5, registry_);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  const auto& b = bound.value();
+  ASSERT_TRUE(b.chain.has_value());
+  EXPECT_EQ(b.chain->chain_param_index, 1u);
+  EXPECT_EQ(b.chain->driver_param_index, 0u);
+  EXPECT_EQ(b.chain->source_column_index, 0u);
+  EXPECT_DOUBLE_EQ(b.chain->initial, 52.0);
+  ASSERT_EQ(b.program->inner_names.size(), 1u);
+  EXPECT_EQ(b.program->inner_names[0], "demand");
+}
+
+TEST_F(BinderTest, ErrorUnknownModel) {
+  auto bound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT GhostModel(@w) AS g INTO r;",
+      registry_);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, ErrorWrongArity) {
+  auto bound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w) AS d INTO r;",
+      registry_);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("2 argument"),
+            std::string::npos);
+}
+
+TEST_F(BinderTest, ErrorUndeclaredParameter) {
+  auto bound = ParseAndBind("SELECT DemandModel(@w, 52) AS d INTO r;",
+                            registry_);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("undeclared"), std::string::npos);
+}
+
+TEST_F(BinderTest, ErrorUnresolvedColumn) {
+  auto bound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT mystery + 1 AS x INTO r;",
+      registry_);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("unresolved column"),
+            std::string::npos);
+}
+
+TEST_F(BinderTest, ErrorForwardAliasReference) {
+  // Aliases resolve strictly left to right (Figure 1 semantics).
+  auto bound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT later + 1 AS x, 2 AS later INTO r;",
+      registry_);
+  EXPECT_FALSE(bound.ok());
+}
+
+TEST_F(BinderTest, ErrorOptimizeTableMismatch) {
+  auto bound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 4 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO results;"
+      "OPTIMIZE SELECT @w FROM other GROUP BY w FOR MAX @w;",
+      registry_);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("INTO"), std::string::npos);
+}
+
+TEST_F(BinderTest, ErrorChainUnsupportedLag) {
+  auto bound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "DECLARE PARAMETER @r AS CHAIN d FROM @w : @w - 2 INITIAL VALUE 9;"
+      "SELECT DemandModel(@w, @r) AS d INTO results;",
+      registry_);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(BinderTest, ErrorNoSelect) {
+  auto bound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;", registry_);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("no SELECT"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ScriptRunner end-to-end
+// ---------------------------------------------------------------------------
+
+TEST_F(BinderTest, ScriptRunnerExecutesFigure1Optimize) {
+  RunConfig cfg;
+  cfg.num_samples = 200;
+  cfg.fingerprint_size = 10;
+  ScriptRunner runner(&registry_, cfg);
+  auto outcome = runner.Run(kFigure1);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const auto& o = outcome.value();
+  ASSERT_TRUE(o.optimize.has_value());
+  // 3 features x 3 purchase1 x 3 purchase2 = 27 groups.
+  EXPECT_EQ(o.optimize->groups.size(), 27u);
+  EXPECT_GT(o.runner_stats.points_evaluated, 0u);
+  // Fingerprint reuse must have kicked in across the sweep.
+  EXPECT_GT(o.runner_stats.points_reused, 0u);
+  EXPECT_NE(o.Report().find("points evaluated"), std::string::npos);
+}
+
+TEST_F(BinderTest, ScriptRunnerProducesGraphData) {
+  const char* kGraph = R"(
+DECLARE PARAMETER @current_week AS RANGE 0 TO 20 STEP BY 1;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 16 STEP BY 8;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 16 STEP BY 8;
+SELECT DemandModel(@current_week, 52) AS demand,
+       CapacityModel(@current_week, @purchase1, @purchase2) AS capacity
+INTO results;
+GRAPH OVER @current_week
+  EXPECT demand WITH bold red,
+  EXPECT capacity WITH blue y2
+)";
+  RunConfig cfg;
+  cfg.num_samples = 100;
+  ScriptRunner runner(&registry_, cfg);
+  auto outcome = runner.Run(kGraph, {{"purchase1", 8.0}});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const auto& g = outcome.value().graph;
+  ASSERT_TRUE(g.has_value());
+  ASSERT_EQ(g->points.size(), 21u);
+  ASSERT_EQ(g->points[0].y.size(), 2u);
+  // Demand at week 20 ~ 20; capacity starts at the base of 40 cores.
+  EXPECT_NEAR(g->points[20].y[0], 20.0, 2.0);
+  EXPECT_GE(g->points[0].y[1], 39.0);
+}
+
+TEST_F(BinderTest, ScriptRunnerRejectsOverrideOfUnknownParam) {
+  const char* kGraph =
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "GRAPH OVER @w EXPECT d;";
+  RunConfig cfg;
+  cfg.num_samples = 50;
+  ScriptRunner runner(&registry_, cfg);
+  EXPECT_FALSE(runner.Run(kGraph, {{"ghost", 1.0}}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Chain scenario execution (Figure 5 on the Markov executor)
+// ---------------------------------------------------------------------------
+
+TEST_F(BinderTest, ChainScenarioNaiveVsJumpAgree) {
+  const char* kFigure5 = R"(
+DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @release_week AS CHAIN release_week
+  FROM @current_week : @current_week - 1 INITIAL VALUE 52;
+SELECT CASE WHEN demand > 26 AND @current_week + 4 < @release_week
+            THEN @current_week + 4 ELSE @release_week END AS release_week,
+       demand
+FROM (SELECT DemandModel(@current_week, @release_week) AS demand)
+INTO results;
+)";
+  auto bound = ParseAndBind(kFigure5, registry_);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  RunConfig cfg;
+  cfg.num_samples = 300;
+  cfg.fingerprint_size = 10;
+
+  ChainRunStats naive_stats, jump_stats;
+  auto naive = RunChainScenario(bound.value(), "demand", 45, cfg,
+                                /*use_jump=*/false, &naive_stats);
+  auto jump = RunChainScenario(bound.value(), "demand", 45, cfg,
+                               /*use_jump=*/true, &jump_stats);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  ASSERT_TRUE(jump.ok()) << jump.status().ToString();
+
+  // Demand at week 45 after an (almost certain) pull-in near week 26:
+  // mean ~ 45 + 0.2*(45-30) = 48.
+  EXPECT_NEAR(naive.value().mean, jump.value().mean,
+              4 * naive.value().std_error + 4 * jump.value().std_error + 0.5);
+  // The jump runner must do far fewer honest transitions than n*target.
+  EXPECT_EQ(naive_stats.step_invocations, 300u * 45u);
+  EXPECT_LT(jump_stats.step_invocations + jump_stats.estimator_invocations,
+            naive_stats.step_invocations / 2);
+}
+
+TEST_F(BinderTest, ChainScenarioUnknownOutputColumn) {
+  const char* kFigure5 = R"(
+DECLARE PARAMETER @w AS RANGE 0 TO 9 STEP BY 1;
+DECLARE PARAMETER @r AS CHAIN r FROM @w : @w - 1 INITIAL VALUE 1;
+SELECT @r + 0 AS r, DemandModel(@w, @r) AS demand INTO results;
+)";
+  auto bound = ParseAndBind(kFigure5, registry_);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  RunConfig cfg;
+  cfg.num_samples = 20;
+  EXPECT_EQ(RunChainScenario(bound.value(), "ghost", 5, cfg, true)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, NonChainScenarioRejectedByChainRunner) {
+  auto bound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;",
+      registry_);
+  ASSERT_TRUE(bound.ok());
+  RunConfig cfg;
+  EXPECT_EQ(
+      RunChainScenario(bound.value(), "d", 5, cfg, true).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace jigsaw::sql

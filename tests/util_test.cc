@@ -1,0 +1,337 @@
+// Unit tests for the util substrate: Status/Result, streaming statistics,
+// histograms (including the affine-transform reuse property), string
+// helpers and hashing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/math_util.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace jigsaw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad knob");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad knob");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::ExecutionError("x").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  JIGSAW_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  auto err = QuarterEven(6);  // 6/2=3 is odd
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Welford / quantiles / ApproxEqual
+// ---------------------------------------------------------------------------
+
+TEST(WelfordTest, MatchesClosedForm) {
+  WelfordAccumulator acc;
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double x : xs) acc.Add(x);
+  EXPECT_EQ(acc.count(), 5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 2.0);       // population
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 2.5);  // n-1
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(WelfordTest, MergeEqualsSequential) {
+  WelfordAccumulator a, b, whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10 + i * 0.1;
+    (i < 20 ? a : b).Add(x);
+    whole.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(WelfordTest, MergeWithEmptySides) {
+  WelfordAccumulator a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  WelfordAccumulator target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 2);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(KahanTest, CompensatesSmallTerms) {
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.sum(), 10000.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenRanks) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.25), 7.0);
+}
+
+TEST(ApproxEqualTest, RelativeAndAbsolute) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(ApproxEqual(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(0.0, 0.0));
+  EXPECT_TRUE(ApproxEqual(0.0, 1e-13));  // absolute floor
+  EXPECT_FALSE(ApproxEqual(0.0, 1e-6));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bin 0
+  h.Add(9.5);   // bin 9
+  h.Add(-5.0);  // clamped to bin 0
+  h.Add(15.0);  // clamped to bin 9
+  EXPECT_EQ(h.total_count(), 4);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(9), 2);
+}
+
+TEST(HistogramTest, FromSamplesCoversRange) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  Histogram h = Histogram::FromSamples(xs, 4);
+  EXPECT_DOUBLE_EQ(h.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 4.0);
+  EXPECT_EQ(h.total_count(), 4);
+}
+
+TEST(HistogramTest, AffineTransformPositiveAlphaPreservesCounts) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(std::sin(i * 0.3) * 5);
+  Histogram h = Histogram::FromSamples(xs, 8);
+  Histogram t = h.AffineTransformed(2.0, 3.0);
+  EXPECT_EQ(t.total_count(), h.total_count());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(t.bin_count(i), h.bin_count(i));
+  EXPECT_DOUBLE_EQ(t.lo(), 2.0 * h.lo() + 3.0);
+  EXPECT_DOUBLE_EQ(t.hi(), 2.0 * h.hi() + 3.0);
+}
+
+TEST(HistogramTest, AffineTransformNegativeAlphaReversesBins) {
+  std::vector<double> xs = {0.0, 0.1, 0.2, 0.9};
+  Histogram h = Histogram::FromSamples(xs, 4);
+  Histogram t = h.AffineTransformed(-1.0, 0.0);
+  EXPECT_EQ(t.total_count(), h.total_count());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.bin_count(i), h.bin_count(3 - i));
+  }
+}
+
+TEST(HistogramTest, TransformedHistogramMatchesTransformedSamples) {
+  // Property: histogram(M(x)) == M(histogram(x)) for affine M — this is
+  // why basis histogram reuse introduces no resampling error.
+  std::vector<double> xs, mapped;
+  for (int i = 0; i < 500; ++i) {
+    const double x = std::cos(i * 0.11) * 7 + 0.3 * i;
+    xs.push_back(x);
+    mapped.push_back(-1.5 * x + 4.0);
+  }
+  Histogram direct = Histogram::FromSamples(xs, 16).AffineTransformed(-1.5, 4.0);
+  Histogram recomputed = Histogram::FromSamples(mapped, 16);
+  ASSERT_EQ(direct.num_bins(), recomputed.num_bins());
+  EXPECT_NEAR(direct.lo(), recomputed.lo(), 1e-9);
+  EXPECT_NEAR(direct.hi(), recomputed.hi(), 1e-9);
+  for (int i = 0; i < direct.num_bins(); ++i) {
+    EXPECT_EQ(direct.bin_count(i), recomputed.bin_count(i)) << "bin " << i;
+  }
+}
+
+TEST(HistogramTest, CdfMonotone) {
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(i % 17 * 1.0);
+  Histogram h = Histogram::FromSamples(xs, 10);
+  double prev = -1.0;
+  for (double x = h.lo(); x <= h.hi(); x += (h.hi() - h.lo()) / 20) {
+    const double c = h.CdfAt(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(h.CdfAt(h.hi() + 1), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, ApproxMeanNearTrueMean) {
+  std::vector<double> xs;
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = (i % 100) * 0.1;
+    xs.push_back(x);
+    sum += x;
+  }
+  Histogram h = Histogram::FromSamples(xs, 50);
+  EXPECT_NEAR(h.ApproxMean(), sum / 1000, 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringTest, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,,c");
+  EXPECT_EQ(Split("a,b,,c", ','), parts);
+}
+
+TEST(StringTest, SplitEdgeCases) {
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("abc", ',').size(), 1u);
+  EXPECT_EQ(Split(",", ',').size(), 2u);
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_TRUE(EqualsIgnoreCase("EXPECT", "expect"));
+  EXPECT_FALSE(EqualsIgnoreCase("EXPECT", "expect_"));
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("jigsaw", "jig"));
+  EXPECT_FALSE(StartsWith("jig", "jigsaw"));
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aDistinguishesInputs) {
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+  EXPECT_EQ(Fnv1a64("same"), Fnv1a64("same"));
+}
+
+TEST(HashTest, HashWordsOrderDependent) {
+  EXPECT_NE(HashWords({1, 2, 3}), HashWords({3, 2, 1}));
+  EXPECT_EQ(HashWords({1, 2, 3}), HashWords({1, 2, 3}));
+  EXPECT_NE(HashWords({}), HashWords({0}));
+}
+
+TEST(HashTest, HashIdsOrderDependent) {
+  EXPECT_NE(HashIds({0, 1, 2}), HashIds({0, 2, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace jigsaw
