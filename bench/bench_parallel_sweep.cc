@@ -1,0 +1,91 @@
+// Parallel-sweep scaling: RunSweep fanned out across parameter points on
+// the worker pool vs the serial sweep, for both the naive baseline and
+// the fingerprint-accelerated path.
+//
+// Shape to reproduce: near-linear scaling for the naive sweep (points are
+// embarrassingly parallel) and solid scaling for the fingerprint sweep's
+// miss phase, while every thread count reports identical checksums — the
+// "checksum" counter folds all output metrics bitwise, so any scheduling
+// nondeterminism shows up as differing counter values between rows.
+
+#include "bench_common.h"
+
+#include <cstring>
+
+#include "core/sim_runner.h"
+#include "models/cloud_models.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jigsaw;
+using bench::FullScale;
+using bench::PaperConfig;
+
+ParameterSpace SweepSpace() {
+  ParameterSpace space;
+  const double weeks = FullScale() ? 99 : 49;
+  const double features = FullScale() ? 49 : 9;
+  (void)space.Add({"week", RangeDomain{1, weeks, 1}});
+  (void)space.Add({"feature", RangeDomain{0, features * 2, 2}});
+  return space;  // full: 99*50 = 4950 points; scaled: 49*10 = 490
+}
+
+/// Order-sensitive bitwise fold of every metric the sweep produced.
+double MetricsChecksum(const std::vector<PointResult>& results) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto fold = [&h](double x) {
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof u);
+    h = (h ^ u) * 0x100000001b3ULL;
+  };
+  for (const auto& r : results) {
+    fold(r.metrics.mean);
+    fold(r.metrics.stddev);
+    fold(r.metrics.p50);
+    fold(r.metrics.p95);
+    h = (h ^ static_cast<std::uint64_t>(r.reused)) * 0x100000001b3ULL;
+  }
+  // Expose as a double counter; keep 52 bits so the value is exact.
+  return static_cast<double>(h >> 12);
+}
+
+void SweepBench(benchmark::State& state, bool use_fingerprints) {
+  const auto model = MakeDemandModel({});
+  BlackBoxSimFunction fn(model);
+  const ParameterSpace space = SweepSpace();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+
+  RunConfig cfg = PaperConfig();
+  cfg.use_fingerprints = use_fingerprints;
+  cfg.num_threads = threads;
+
+  double checksum = 0.0;
+  std::uint64_t reused = 0;
+  for (auto _ : state) {
+    SimulationRunner runner(cfg);
+    WallTimer timer;
+    const auto results = runner.RunSweep(fn, space);
+    state.SetIterationTime(timer.ElapsedSeconds());
+    checksum = MetricsChecksum(results);
+    reused = runner.stats().points_reused;
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["points"] = static_cast<double>(space.NumPoints());
+  state.counters["reused"] = static_cast<double>(reused);
+  state.counters["checksum"] = checksum;
+}
+
+void BM_NaiveSweep(benchmark::State& state) { SweepBench(state, false); }
+void BM_JigsawSweep(benchmark::State& state) { SweepBench(state, true); }
+
+BENCHMARK(BM_NaiveSweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_JigsawSweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,10 +1,13 @@
 #include "core/basis_store.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace jigsaw {
 
 std::optional<BasisMatch> BasisStore::FindMatch(const Fingerprint& probe) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.lookups;
   index_->GetCandidates(probe, &candidate_buffer_);
   for (BasisId id : candidate_buffer_) {
@@ -23,11 +26,18 @@ std::optional<BasisMatch> BasisStore::FindMatch(const Fingerprint& probe) {
 
 const BasisDistribution& BasisStore::Insert(Fingerprint fp,
                                             OutputMetrics metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto id = static_cast<BasisId>(bases_.size());
   index_->Insert(id, fp);
   bases_.push_back(BasisDistribution{id, std::move(fp), std::move(metrics),
                                      /*reuse_count=*/0});
   return bases_.back();
+}
+
+void BasisStore::SetMetrics(BasisId id, OutputMetrics metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JIGSAW_CHECK_MSG(id < bases_.size(), "SetMetrics on unknown basis");
+  bases_[id].metrics = std::move(metrics);
 }
 
 }  // namespace jigsaw

@@ -6,9 +6,22 @@
 /// output metrics o_i were fully computed for a simulation whose
 /// fingerprint was theta_i. FindMatch implements lines 2-6 of Algorithm 3:
 /// prune with the index, then validate candidates with FindMapping.
+///
+/// Thread-safety: FindMatch, Insert and SetMetrics serialize on an
+/// internal mutex and are the only operations safe to call concurrently.
+/// Get()/GetMutable()/size()/stats() are unsynchronized reads — call them
+/// only while no writer is active (the parallel sweep reads exclusively
+/// between its phases). Bases live in a deque so references returned by
+/// Get()/Insert() are not invalidated by later Inserts, but dereferencing
+/// them still requires the writers to have quiesced. The parallel sweep
+/// exploits the deferred-metrics protocol — Insert registers a
+/// fingerprint (making it matchable) before its expensive full simulation
+/// has produced metrics, which SetMetrics fills in later.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -57,6 +70,12 @@ class BasisStore {
   /// Registers a fully-simulated distribution as a new basis.
   const BasisDistribution& Insert(Fingerprint fp, OutputMetrics metrics);
 
+  /// Fills in the metrics of a basis inserted with placeholder metrics.
+  /// Matching consults only fingerprints, so a basis may serve as a match
+  /// target while its full simulation is still in flight; callers must
+  /// SetMetrics before reading Get(id).metrics.
+  void SetMetrics(BasisId id, OutputMetrics metrics);
+
   const BasisDistribution& Get(BasisId id) const { return bases_[id]; }
   BasisDistribution& GetMutable(BasisId id) { return bases_[id]; }
   std::size_t size() const { return bases_.size(); }
@@ -67,9 +86,11 @@ class BasisStore {
   MappingFinderPtr finder_;
   double tol_;
   std::unique_ptr<FingerprintIndex> index_;
-  std::vector<BasisDistribution> bases_;
+  /// Deque, not vector: Insert must not invalidate outstanding references.
+  std::deque<BasisDistribution> bases_;
   std::vector<BasisId> candidate_buffer_;
   BasisStoreStats stats_;
+  std::mutex mu_;
 };
 
 }  // namespace jigsaw

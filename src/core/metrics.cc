@@ -7,8 +7,13 @@
 
 namespace jigsaw {
 
+bool CanMapMetrics(const MappingFunction& m, bool has_samples) {
+  return m.AsAffine().has_value() || (m.Invertible() && has_samples);
+}
+
 std::optional<OutputMetrics> OutputMetrics::MappedBy(
     const MappingFunction& m, int histogram_bins) const {
+  if (!CanMapMetrics(m, !samples.empty())) return std::nullopt;
   if (auto affine = m.AsAffine()) {
     const auto [alpha, beta] = *affine;
     OutputMetrics out;

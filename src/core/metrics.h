@@ -42,6 +42,13 @@ struct OutputMetrics {
   std::string ToString() const;
 };
 
+/// True iff MappedBy(m, ...) would produce a value for metrics whose
+/// retained-sample vector is non-empty iff `has_samples`. The decision
+/// depends only on the mapping class and sample retention — never on the
+/// metric values — which lets the parallel sweep commit to a reuse
+/// decision before the basis metrics have been materialized.
+bool CanMapMetrics(const MappingFunction& m, bool has_samples);
+
 /// Streaming estimator used by both the naive path and the fingerprint
 /// path (fingerprint samples are the first m simulation rounds and feed
 /// the same accumulator).

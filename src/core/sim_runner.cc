@@ -1,5 +1,7 @@
 #include "core/sim_runner.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace jigsaw {
@@ -20,19 +22,27 @@ SimulationRunner::SimulationRunner(const RunConfig& config,
   }
 }
 
+void SimulationRunner::EvaluateRangeSerial(const SimFunction& fn,
+                                           std::span<const double> params,
+                                           std::size_t begin, std::size_t end,
+                                           std::vector<double>* out) {
+  out->resize(end - begin);
+  for (std::size_t k = begin; k < end; ++k) {
+    (*out)[k - begin] = fn.Sample(params, k, seeds_);
+  }
+}
+
 void SimulationRunner::EvaluateRange(const SimFunction& fn,
                                      std::span<const double> params,
                                      std::size_t begin, std::size_t end,
                                      std::vector<double>* out) {
-  out->resize(end - begin);
   if (pool_ == nullptr || end - begin < 2 * config_.num_threads) {
-    for (std::size_t k = begin; k < end; ++k) {
-      (*out)[k - begin] = fn.Sample(params, k, seeds_);
-    }
+    EvaluateRangeSerial(fn, params, begin, end, out);
     return;
   }
   // Samples are independent given their seeds; any schedule produces the
   // same values, and the caller folds them in index order.
+  out->resize(end - begin);
   pool_->ParallelFor(end - begin, [&](std::size_t i) {
     (*out)[i] = fn.Sample(params, begin + i, seeds_);
   });
@@ -99,7 +109,7 @@ PointResult SimulationRunner::RunPoint(const SimFunction& fn,
   return result;
 }
 
-std::vector<PointResult> SimulationRunner::RunSweep(
+std::vector<PointResult> SimulationRunner::RunSweepSerial(
     const SimFunction& fn, const ParameterSpace& space) {
   std::vector<PointResult> out;
   const std::size_t n = space.NumPoints();
@@ -109,6 +119,133 @@ std::vector<PointResult> SimulationRunner::RunSweep(
     out.push_back(RunPoint(fn, valuation));
   }
   return out;
+}
+
+std::vector<PointResult> SimulationRunner::RunSweepParallel(
+    const SimFunction& fn, const ParameterSpace& space) {
+  const std::size_t n_points = space.NumPoints();
+  const std::size_t n = config_.num_samples;
+  std::vector<PointResult> out(n_points);
+
+  std::vector<std::vector<double>> valuations(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    valuations[i] = space.ValuationAt(i);
+  }
+
+  if (!config_.use_fingerprints) {
+    // Naive baseline: every point is independent, so the whole sweep is
+    // embarrassingly parallel. Per-point sample folds stay in index
+    // order, so metrics match the serial sweep bitwise.
+    pool_->ParallelFor(n_points, [&](std::size_t i) {
+      Estimator estimator(config_.keep_samples, config_.histogram_bins);
+      std::vector<double> all;
+      EvaluateRangeSerial(fn, valuations[i], 0, n, &all);
+      for (double v : all) estimator.Add(v);
+      out[i].metrics = estimator.Finalize();
+      out[i].reused = false;
+      out[i].mapping = IdentityMapping::Make();
+    });
+    stats_.points_evaluated += n_points;
+    stats_.blackbox_invocations += static_cast<std::uint64_t>(n_points) * n;
+    return out;
+  }
+
+  const std::size_t m = config_.fingerprint_size;
+
+  // Phase 1: fingerprints of every point, in parallel. Fingerprint
+  // samples are pure functions of (params, sigma_k), so the schedule
+  // cannot perturb them.
+  std::vector<Fingerprint> fps(n_points);
+  pool_->ParallelFor(n_points, [&](std::size_t i) {
+    fps[i] = ComputeFingerprint(fn, valuations[i], seeds_, m);
+  });
+
+  // Phase 2: replay the match/miss decisions serially in point-index
+  // order — the exact order the serial sweep consults the store — so
+  // reuse decisions, basis ids, reuse counts and store stats coincide
+  // with the serial run. Misses register their fingerprint now (making
+  // it matchable by later points) with metrics deferred to phase 3.
+  // CanMapMetrics makes the hit/fall-through choice without needing the
+  // basis metrics: it depends only on the mapping class and on sample
+  // retention, which is uniform across the run (keep_samples).
+  struct Decision {
+    bool hit = false;
+    BasisId basis_id = 0;
+    MappingPtr mapping;
+  };
+  std::vector<Decision> decisions(n_points);
+  std::vector<std::size_t> miss_points;
+  for (std::size_t i = 0; i < n_points; ++i) {
+    ++stats_.points_evaluated;
+    stats_.blackbox_invocations += m;
+    Decision& d = decisions[i];
+    if (auto match = basis_store_.FindMatch(fps[i])) {
+      if (CanMapMetrics(*match->mapping, config_.keep_samples)) {
+        ++stats_.points_reused;
+        d.hit = true;
+        d.basis_id = match->basis_id;
+        d.mapping = match->mapping;
+        continue;
+      }
+      // Mapping exists but metrics will not be transformable: the serial
+      // path falls through to full simulation and inserts a new basis.
+    }
+    const auto& basis = basis_store_.Insert(Fingerprint(fps[i]), {});
+    d.hit = false;
+    d.basis_id = basis.id;
+    d.mapping = IdentityMapping::Make();
+    miss_points.push_back(i);
+    stats_.blackbox_invocations += n - m;
+  }
+
+  // Phase 3: full simulation of every miss point, in parallel across
+  // points. Each task folds fingerprint-then-tail samples in index
+  // order, matching the serial estimator exactly.
+  std::vector<OutputMetrics> miss_metrics(miss_points.size());
+  pool_->ParallelFor(miss_points.size(), [&](std::size_t j) {
+    const std::size_t i = miss_points[j];
+    Estimator estimator(config_.keep_samples, config_.histogram_bins);
+    for (double v : fps[i].values()) estimator.Add(v);
+    std::vector<double> tail;
+    EvaluateRangeSerial(fn, valuations[i], m, n, &tail);
+    for (double v : tail) estimator.Add(v);
+    miss_metrics[j] = estimator.Finalize();
+  });
+  for (std::size_t j = 0; j < miss_points.size(); ++j) {
+    const std::size_t i = miss_points[j];
+    out[i].metrics = miss_metrics[j];
+    basis_store_.SetMetrics(decisions[i].basis_id,
+                            std::move(miss_metrics[j]));
+  }
+
+  // Phase 4: merge results in point-index order. Every basis a hit maps
+  // from was materialized either in a previous run or in phase 3 above;
+  // miss points already carry their metrics.
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const Decision& d = decisions[i];
+    out[i].reused = d.hit;
+    out[i].basis_id = d.basis_id;
+    out[i].mapping = d.mapping;
+    if (d.hit) {
+      auto mapped = basis_store_.Get(d.basis_id)
+                        .metrics.MappedBy(*d.mapping, config_.histogram_bins);
+      JIGSAW_CHECK_MSG(mapped.has_value(),
+                       "CanMapMetrics accepted an unmappable basis");
+      out[i].metrics = std::move(*mapped);
+    }
+  }
+  return out;
+}
+
+std::vector<PointResult> SimulationRunner::RunSweep(
+    const SimFunction& fn, const ParameterSpace& space) {
+  // Few points can't keep the pool busy across points; the serial sweep
+  // parallelizes *within* each point instead (EvaluateRange), which uses
+  // the workers better there. Both paths produce identical output.
+  if (pool_ == nullptr || space.NumPoints() < config_.num_threads) {
+    return RunSweepSerial(fn, space);
+  }
+  return RunSweepParallel(fn, space);
 }
 
 }  // namespace jigsaw

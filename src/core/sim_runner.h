@@ -13,7 +13,12 @@
 ///
 /// With use_fingerprints=false it degrades to the naive generate-
 /// everything baseline the paper compares against.
+///
+/// When num_threads > 1, RunSweep fans the sweep out across parameter
+/// points on the worker pool while staying bit-identical to the serial
+/// sweep (see RunSweep below for the phase protocol).
 
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <vector>
@@ -55,6 +60,21 @@ class SimulationRunner {
 
   /// Sweeps an entire parameter space; returns metrics per valuation in
   /// row-major enumeration order.
+  ///
+  /// With num_threads > 1 the sweep runs as a deterministic phase
+  /// pipeline that is bit-identical to the serial sweep at any thread
+  /// count:
+  ///
+  ///   1. fingerprints of all points evaluate in parallel (each sample is
+  ///      a pure function of its seed, so scheduling cannot perturb it);
+  ///   2. match/miss decisions replay serially in point-index order
+  ///      against the basis store — exactly the order the serial sweep
+  ///      uses, so reuse decisions, basis ids and store stats coincide;
+  ///      misses insert their fingerprint immediately (metrics deferred);
+  ///   3. the expensive full simulations of all miss points fan out
+  ///      across the pool, folding samples in index order per point;
+  ///   4. results merge in point-index order: misses publish their
+  ///      metrics, hits map their basis' now-materialized metrics.
   std::vector<PointResult> RunSweep(const SimFunction& fn,
                                     const ParameterSpace& space);
 
@@ -70,6 +90,18 @@ class SimulationRunner {
   void EvaluateRange(const SimFunction& fn, std::span<const double> params,
                      std::size_t begin, std::size_t end,
                      std::vector<double>* out);
+
+  /// Serial EvaluateRange. Used inside pool tasks, where nesting a
+  /// ParallelFor would deadlock (a worker blocked in WaitIdle still
+  /// counts as in-flight).
+  void EvaluateRangeSerial(const SimFunction& fn,
+                           std::span<const double> params, std::size_t begin,
+                           std::size_t end, std::vector<double>* out);
+
+  std::vector<PointResult> RunSweepSerial(const SimFunction& fn,
+                                          const ParameterSpace& space);
+  std::vector<PointResult> RunSweepParallel(const SimFunction& fn,
+                                            const ParameterSpace& space);
 
   RunConfig config_;
   MappingFinderPtr finder_;

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "core/optimizer.h"
 #include "core/parameter_space.h"
@@ -318,6 +320,148 @@ TEST(SimRunnerTest, KeepSamplesRetainsMappedSamples) {
   if (reused.reused) {
     EXPECT_EQ(reused.metrics.samples.size(), 50u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep determinism: RunSweep must be bit-identical at any
+// thread count — identical OutputMetrics, identical reuse decisions,
+// identical RunnerStats — because the phase pipeline replays the serial
+// decision order and every sample is a pure function of its seed.
+// ---------------------------------------------------------------------------
+
+std::uint64_t Bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+void ExpectBitIdenticalMetrics(const OutputMetrics& a,
+                               const OutputMetrics& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(Bits(a.mean), Bits(b.mean));
+  EXPECT_EQ(Bits(a.stddev), Bits(b.stddev));
+  EXPECT_EQ(Bits(a.std_error), Bits(b.std_error));
+  EXPECT_EQ(Bits(a.min), Bits(b.min));
+  EXPECT_EQ(Bits(a.max), Bits(b.max));
+  EXPECT_EQ(Bits(a.p50), Bits(b.p50));
+  EXPECT_EQ(Bits(a.p95), Bits(b.p95));
+  ASSERT_EQ(a.histogram.has_value(), b.histogram.has_value());
+  if (a.histogram) {
+    EXPECT_TRUE(*a.histogram == *b.histogram);
+  }
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    ASSERT_EQ(Bits(a.samples[i]), Bits(b.samples[i])) << "sample " << i;
+  }
+}
+
+void ExpectSweepsIdentical(const RunConfig& base_cfg, const SimFunction& fn,
+                           const ParameterSpace& space) {
+  RunConfig serial_cfg = base_cfg;
+  serial_cfg.num_threads = 1;
+  SimulationRunner serial(serial_cfg);
+  const auto expected = serial.RunSweep(fn, space);
+
+  for (std::size_t threads : {2u, 8u}) {
+    RunConfig cfg = base_cfg;
+    cfg.num_threads = threads;
+    SimulationRunner runner(cfg);
+    const auto got = runner.RunSweep(fn, space);
+
+    ASSERT_EQ(got.size(), expected.size()) << threads << " threads";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE(::testing::Message()
+                   << threads << " threads, point " << i);
+      EXPECT_EQ(got[i].reused, expected[i].reused);
+      EXPECT_EQ(got[i].basis_id, expected[i].basis_id);
+      ASSERT_NE(got[i].mapping, nullptr);
+      EXPECT_EQ(got[i].mapping->ToString(), expected[i].mapping->ToString());
+      ExpectBitIdenticalMetrics(got[i].metrics, expected[i].metrics);
+    }
+
+    EXPECT_EQ(runner.stats().points_evaluated,
+              serial.stats().points_evaluated);
+    EXPECT_EQ(runner.stats().points_reused, serial.stats().points_reused);
+    EXPECT_EQ(runner.stats().blackbox_invocations,
+              serial.stats().blackbox_invocations);
+
+    const auto& ss = serial.basis_store().stats();
+    const auto& ps = runner.basis_store().stats();
+    EXPECT_EQ(runner.basis_store().size(), serial.basis_store().size());
+    EXPECT_EQ(ps.lookups, ss.lookups);
+    EXPECT_EQ(ps.hits, ss.hits);
+    EXPECT_EQ(ps.misses, ss.misses);
+    EXPECT_EQ(ps.candidates_tested, ss.candidates_tested);
+    EXPECT_EQ(ps.false_positive_candidates, ss.false_positive_candidates);
+    for (std::size_t b = 0; b < runner.basis_store().size(); ++b) {
+      EXPECT_EQ(runner.basis_store().Get(static_cast<BasisId>(b)).reuse_count,
+                serial.basis_store().Get(static_cast<BasisId>(b)).reuse_count)
+          << "basis " << b;
+    }
+  }
+}
+
+TEST(SweepDeterminismTest, FingerprintSweepBitIdenticalAcrossThreadCounts) {
+  CloudModelConfig mcfg;
+  auto model = MakeDemandModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"week", RangeDomain{1, 40, 1}}).ok());
+  ASSERT_TRUE(space.Add({"feature", SetDomain{{52.0}}}).ok());
+  ExpectSweepsIdentical(SmallConfig(400, 10), fn, space);
+}
+
+TEST(SweepDeterminismTest, MixedHitMissSweepBitIdentical) {
+  // SynthBasis cycles through several distinct bases, interleaving hits
+  // and misses along the sweep — the stress case for the deferred-metrics
+  // protocol (a hit may map a basis whose full simulation ran in a later
+  // pool slot).
+  CloudModelConfig mcfg;
+  mcfg.synth_num_basis = 5;
+  auto model = MakeSynthBasisModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"point", RangeDomain{0, 79, 1}}).ok());
+  ExpectSweepsIdentical(SmallConfig(200, 10), fn, space);
+}
+
+TEST(SweepDeterminismTest, BooleanSweepBitIdentical) {
+  // Overload's constant-zero regions exercise the constant-translation
+  // mapping extension and limited-reuse mixed regions.
+  CloudModelConfig mcfg;
+  auto model = MakeOverloadModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"week", RangeDomain{1, 48, 1}}).ok());
+  ASSERT_TRUE(space.Add({"p1", SetDomain{{20.0}}}).ok());
+  ASSERT_TRUE(space.Add({"p2", SetDomain{{40.0}}}).ok());
+  ExpectSweepsIdentical(SmallConfig(300, 10), fn, space);
+}
+
+TEST(SweepDeterminismTest, KeepSamplesSweepBitIdentical) {
+  // keep_samples routes reuse through sample-level mapping; retained
+  // sample vectors must also match bitwise.
+  CloudModelConfig mcfg;
+  auto model = MakeDemandModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  RunConfig cfg = SmallConfig(100, 5);
+  cfg.keep_samples = true;
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"week", RangeDomain{1, 24, 1}}).ok());
+  ASSERT_TRUE(space.Add({"feature", SetDomain{{52.0}}}).ok());
+  ExpectSweepsIdentical(cfg, fn, space);
+}
+
+TEST(SweepDeterminismTest, NaiveSweepBitIdenticalAcrossThreadCounts) {
+  CloudModelConfig mcfg;
+  auto model = MakeDemandModel(mcfg);
+  BlackBoxSimFunction fn(model);
+  RunConfig cfg = SmallConfig(300, 10);
+  cfg.use_fingerprints = false;
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"week", RangeDomain{1, 30, 1}}).ok());
+  ASSERT_TRUE(space.Add({"feature", SetDomain{{52.0}}}).ok());
+  ExpectSweepsIdentical(cfg, fn, space);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,121 @@
+// Tests for the worker pool underpinning parallel sample evaluation and
+// the parallel sweep: ParallelFor index coverage, WaitIdle blocking
+// semantics, and clean shutdown while producers are still submitting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace jigsaw {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> calls{0};
+  pool.ParallelFor(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0u);
+  pool.ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1u);
+  // Fewer indices than threads: every index still runs exactly once.
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForIsReentrantAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.ParallelFor(100, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilSubmittedWorkFinishes) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(std::memory_order_acquire), 8);
+}
+
+TEST(ThreadPoolTest, WaitIdleReturnsImmediatelyWhenIdle) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // nothing submitted: must not deadlock
+  pool.Submit([] {});
+  pool.WaitIdle();
+  pool.WaitIdle();  // idempotent after drain
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueueWithoutDeadlock) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs here with tasks still queued.
+  }
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersAllExecute) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> producers;
+    producers.reserve(4);
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&pool, &executed] {
+        for (int i = 0; i < 200; ++i) {
+          pool.Submit([&executed] {
+            executed.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    pool.WaitIdle();
+    EXPECT_EQ(executed.load(), 800);
+  }
+  EXPECT_EQ(executed.load(), 800);
+}
+
+}  // namespace
+}  // namespace jigsaw
