@@ -1,0 +1,225 @@
+// Scalar-vs-batched throughput for the SampleBatch engine.
+//
+// Two workloads per model, each run once through the legacy scalar path
+// (per-sample virtual Sample calls, forced via a wrapper that hides the
+// model's batch kernel) and once through the batched path (SampleBatch
+// over batch_size chunks):
+//
+//   fingerprint — many points, the first m seeded samples each (the
+//                 ComputeFingerprint hot loop);
+//   full_sim    — few points, all num_samples samples each (the miss
+//                 simulation hot loop).
+//
+// Models cover both kernel classes: DemandModel and UserSelectionModel
+// have native batch kernels (cloud_models.cc); "ScalarMix" is a
+// CallableBlackBox with no EvalBatch override, so its batch path is the
+// scalar-fallback loop — the speedup it shows is pure call-overhead
+// elimination.
+//
+// Every row is emitted as a JSON-lines record on stdout (BENCH_*.json
+// trajectories); a human summary goes to stderr. The binary exits
+// non-zero if any scalar/batched checksum pair disagrees — it doubles as
+// a bit-identity smoke test in CI.
+//
+// Flags: --num_samples=N --batch_size=N (bench_common.h). The bench is
+// single-threaded by design — it isolates per-kernel sample throughput;
+// thread scaling is bench_parallel_sweep's job.
+
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "core/sim_function.h"
+#include "models/cloud_models.h"
+#include "random/seed_vector.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jigsaw;
+using bench::BenchFlags;
+using bench::EmitJsonLine;
+using bench::JsonLineBuilder;
+
+/// Forces the legacy scalar path: only Sample is forwarded, so the
+/// inherited SampleBatch default loops over per-sample virtual calls —
+/// exactly the pre-batching hot loop.
+class ScalarizedSimFunction : public SimFunction {
+ public:
+  explicit ScalarizedSimFunction(const SimFunction& inner) : inner_(inner) {}
+
+  const std::string& label() const override { return inner_.label(); }
+
+  double Sample(std::span<const double> params, std::size_t sample_id,
+                const SeedVector& seeds) const override {
+    return inner_.Sample(params, sample_id, seeds);
+  }
+
+ private:
+  const SimFunction& inner_;
+};
+
+/// Order-sensitive bitwise fold (FNV-1a over the raw doubles).
+class Checksum {
+ public:
+  void Fold(std::span<const double> xs) {
+    for (double x : xs) {
+      std::uint64_t u;
+      std::memcpy(&u, &x, sizeof u);
+      h_ = (h_ ^ u) * 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+struct Workload {
+  std::string model;
+  SimFunctionPtr fn;
+  std::vector<double> (*params_for)(std::size_t point);
+};
+
+struct RunResult {
+  double elapsed_s = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Evaluates samples [0, samples_per_point) of `points` parameter points
+/// through SampleBatch chunks of `batch`, folding a checksum.
+RunResult Drive(const SimFunction& fn, const Workload& w,
+                const SeedVector& seeds, std::size_t points,
+                std::size_t samples_per_point, std::size_t batch) {
+  RunResult r;
+  Checksum sum;
+  std::vector<double> buf(samples_per_point);
+  WallTimer timer;
+  for (std::size_t p = 0; p < points; ++p) {
+    const std::vector<double> params = w.params_for(p);
+    for (std::size_t i = 0; i < samples_per_point; i += batch) {
+      const std::size_t len = std::min(batch, samples_per_point - i);
+      fn.SampleBatch(params, i, seeds,
+                     std::span<double>(buf.data() + i, len));
+    }
+    sum.Fold(buf);
+  }
+  r.elapsed_s = timer.ElapsedSeconds();
+  r.samples = static_cast<std::uint64_t>(points) * samples_per_point;
+  r.checksum = sum.value();
+  return r;
+}
+
+void EmitRow(const std::string& bench, const std::string& model,
+             const std::string& mode, const BenchFlags& flags,
+             std::size_t points, std::size_t samples_per_point,
+             const RunResult& r) {
+  JsonLineBuilder row;
+  row.Str("bench", bench)
+      .Str("model", model)
+      .Str("mode", mode)
+      .Num("points", static_cast<double>(points))
+      .Num("samples_per_point", static_cast<double>(samples_per_point))
+      .Num("batch_size", static_cast<double>(flags.batch_size))
+      .Num("elapsed_s", r.elapsed_s)
+      .Num("samples_per_sec",
+           r.elapsed_s > 0.0 ? static_cast<double>(r.samples) / r.elapsed_s
+                             : 0.0)
+      .Num("checksum", static_cast<double>(r.checksum >> 12));
+  EmitJsonLine(std::cout, row);
+}
+
+std::vector<double> DemandParams(std::size_t p) {
+  return {1.0 + static_cast<double>(p % 50),
+          2.0 * static_cast<double>(p % 10)};
+}
+
+std::vector<double> WeekParam(std::size_t p) {
+  return {1.0 + static_cast<double>(p % 50)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = bench::ParseBenchFlags(&argc, argv);
+  if (flags.batch_size == 0) flags.batch_size = 1;
+  const std::size_t m = 10;  // fingerprint size (paper setup)
+  if (flags.num_samples < m) {
+    std::fprintf(stderr, "error: --num_samples must be >= %zu\n", m);
+    return 2;
+  }
+  const std::size_t fp_points = bench::FullScale() ? 5000 : 500;
+  const std::size_t sim_points = bench::FullScale() ? 50 : 8;
+
+  const SeedVector seeds(RunConfig{}.master_seed, flags.num_samples);
+
+  CloudModelConfig user_cfg;
+  user_cfg.num_users = 200;   // keep the data-bound model tractable
+  user_cfg.user_sim_depth = 4;
+
+  const auto demand =
+      std::make_shared<BlackBoxSimFunction>(MakeDemandModel({}));
+  const auto users =
+      std::make_shared<BlackBoxSimFunction>(MakeUserSelectionModel(user_cfg));
+  // Scalar-fallback black box: no EvalBatch override, so the batched mode
+  // exercises BlackBox's default per-seed loop.
+  const auto scalar_mix = std::make_shared<BlackBoxSimFunction>(
+      std::make_shared<CallableBlackBox>(
+          "ScalarMix", std::vector<std::string>{"week"},
+          [](std::span<const double> p, RandomStream& rng) {
+            return rng.Normal(p[0], std::sqrt(0.1 * p[0] + 1.0)) +
+                   rng.Exponential(1.0 / (p[0] + 1.0));
+          }));
+
+  const std::vector<Workload> workloads = {
+      {"DemandModel", demand, &DemandParams},
+      {"UserSelectionModel", users, &WeekParam},
+      {"ScalarMix", scalar_mix, &WeekParam},
+  };
+
+  bool checksums_ok = true;
+  for (const auto& w : workloads) {
+    const ScalarizedSimFunction scalar_fn(*w.fn);
+    struct Phase {
+      const char* name;
+      std::size_t points;
+      std::size_t samples_per_point;
+    };
+    const Phase phases[] = {
+        {"fingerprint", fp_points, m},
+        {"full_sim", sim_points, flags.num_samples},
+    };
+    for (const Phase& phase : phases) {
+      const RunResult scalar = Drive(scalar_fn, w, seeds, phase.points,
+                                     phase.samples_per_point,
+                                     /*batch=*/1);
+      const RunResult batched = Drive(*w.fn, w, seeds, phase.points,
+                                      phase.samples_per_point,
+                                      flags.batch_size);
+      EmitRow(phase.name, w.model, "scalar", flags, phase.points,
+              phase.samples_per_point, scalar);
+      EmitRow(phase.name, w.model, "batched", flags, phase.points,
+              phase.samples_per_point, batched);
+      const double speedup =
+          batched.elapsed_s > 0.0 ? scalar.elapsed_s / batched.elapsed_s
+                                  : 0.0;
+      const bool same = scalar.checksum == batched.checksum;
+      checksums_ok = checksums_ok && same;
+      std::fprintf(stderr, "%-22s %-12s speedup %5.2fx  checksums %s\n",
+                   w.model.c_str(), phase.name, speedup,
+                   same ? "match" : "MISMATCH");
+    }
+  }
+
+  if (!checksums_ok) {
+    std::fprintf(stderr, "FAIL: batched path diverged from scalar path\n");
+    return 1;
+  }
+  return 0;
+}

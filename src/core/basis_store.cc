@@ -6,8 +6,19 @@
 
 namespace jigsaw {
 
+namespace {
+
+/// Locked on the thread-safe path, disengaged (no atomic ops at all) on
+/// the single-threaded one.
+std::unique_lock<std::mutex> MaybeLock(std::mutex& mu, bool enabled) {
+  return enabled ? std::unique_lock<std::mutex>(mu)
+                 : std::unique_lock<std::mutex>(mu, std::defer_lock);
+}
+
+}  // namespace
+
 std::optional<BasisMatch> BasisStore::FindMatch(const Fingerprint& probe) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = MaybeLock(mu_, thread_safe_);
   ++stats_.lookups;
   index_->GetCandidates(probe, &candidate_buffer_);
   for (BasisId id : candidate_buffer_) {
@@ -26,7 +37,7 @@ std::optional<BasisMatch> BasisStore::FindMatch(const Fingerprint& probe) {
 
 const BasisDistribution& BasisStore::Insert(Fingerprint fp,
                                             OutputMetrics metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = MaybeLock(mu_, thread_safe_);
   const auto id = static_cast<BasisId>(bases_.size());
   index_->Insert(id, fp);
   bases_.push_back(BasisDistribution{id, std::move(fp), std::move(metrics),
@@ -35,7 +46,7 @@ const BasisDistribution& BasisStore::Insert(Fingerprint fp,
 }
 
 void BasisStore::SetMetrics(BasisId id, OutputMetrics metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = MaybeLock(mu_, thread_safe_);
   JIGSAW_CHECK_MSG(id < bases_.size(), "SetMetrics on unknown basis");
   bases_[id].metrics = std::move(metrics);
 }

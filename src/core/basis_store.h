@@ -9,6 +9,8 @@
 ///
 /// Thread-safety: FindMatch, Insert and SetMetrics serialize on an
 /// internal mutex and are the only operations safe to call concurrently.
+/// A store constructed with thread_safe=false skips the mutex entirely
+/// (serial sweeps pay no lock overhead) and must never see concurrency.
 /// Get()/GetMutable()/size()/stats() are unsynchronized reads — call them
 /// only while no writer is active (the parallel sweep reads exclusively
 /// between its phases). Bases live in a deque so references returned by
@@ -57,11 +59,15 @@ struct BasisStoreStats {
 
 class BasisStore {
  public:
+  /// `thread_safe = false` elides the mutex on every operation — the
+  /// single-threaded sweep path pays no lock overhead. Callers that run
+  /// serially (RunConfig::num_threads <= 1) own that guarantee.
   BasisStore(MappingFinderPtr finder, IndexKind index_kind, double tol,
-             double quantum)
+             double quantum, bool thread_safe = true)
       : finder_(std::move(finder)),
         tol_(tol),
-        index_(MakeFingerprintIndex(index_kind, finder_, tol, quantum)) {}
+        index_(MakeFingerprintIndex(index_kind, finder_, tol, quantum)),
+        thread_safe_(thread_safe) {}
 
   /// Finds a basis whose fingerprint maps onto `probe` (basis -> probe
   /// direction, so basis metrics mapped by the result describe the probe).
@@ -91,6 +97,7 @@ class BasisStore {
   std::vector<BasisId> candidate_buffer_;
   BasisStoreStats stats_;
   std::mutex mu_;
+  bool thread_safe_ = true;
 };
 
 }  // namespace jigsaw

@@ -32,11 +32,8 @@ Fingerprint ComputeFingerprint(const SimFunction& fn,
   JIGSAW_CHECK_MSG(m <= seeds.size(),
                    "fingerprint size " << m << " exceeds seed vector size "
                                        << seeds.size());
-  std::vector<double> values;
-  values.reserve(m);
-  for (std::size_t k = 0; k < m; ++k) {
-    values.push_back(fn.Sample(params, k, seeds));
-  }
+  std::vector<double> values(m);
+  fn.SampleBatch(params, 0, seeds, values);
   return Fingerprint(std::move(values));
 }
 

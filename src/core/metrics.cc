@@ -83,7 +83,7 @@ OutputMetrics Estimator::Finalize() const {
 OutputMetrics MetricsFromSamples(const std::vector<double>& samples,
                                  bool keep_samples, int histogram_bins) {
   Estimator est(keep_samples, histogram_bins);
-  for (double s : samples) est.Add(s);
+  est.AddSpan(samples);
   return est.Finalize();
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,7 +52,9 @@ bool CanMapMetrics(const MappingFunction& m, bool has_samples);
 
 /// Streaming estimator used by both the naive path and the fingerprint
 /// path (fingerprint samples are the first m simulation rounds and feed
-/// the same accumulator).
+/// the same accumulator). Moments stream through a Welford accumulator;
+/// whole sample batches fold via AddSpan, which is bit-identical to
+/// element-wise Add — the batched engine's correctness contract.
 class Estimator {
  public:
   explicit Estimator(bool keep_samples = false, int histogram_bins = 20)
@@ -60,6 +63,13 @@ class Estimator {
   void Add(double x) {
     acc_.Add(x);
     all_.push_back(x);
+  }
+
+  /// Folds a whole batch in index order (same result, bit-for-bit, as
+  /// adding each element individually).
+  void AddSpan(std::span<const double> xs) {
+    acc_.AddSpan(xs);
+    all_.insert(all_.end(), xs.begin(), xs.end());
   }
 
   std::int64_t count() const { return acc_.count(); }

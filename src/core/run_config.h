@@ -46,6 +46,12 @@ struct RunConfig {
   /// each sample depends only on its seed, and samples are folded into
   /// the estimator in index order.
   std::size_t num_threads = 1;
+
+  /// Samples per SampleBatch call on the hot path. Batching never changes
+  /// any draw (sample k always comes from seed sigma_k), so results are
+  /// bit-identical at every batch size; the knob only trades per-call
+  /// overhead against buffer locality. 0 is treated as 1 (pure scalar).
+  std::size_t batch_size = 64;
 };
 
 }  // namespace jigsaw

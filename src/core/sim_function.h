@@ -29,6 +29,19 @@ class SimFunction {
   virtual double Sample(std::span<const double> params,
                         std::size_t sample_id,
                         const SeedVector& seeds) const = 0;
+
+  /// Evaluates samples [sample_begin, sample_begin + out.size()) into
+  /// `out`. Entry i must equal Sample(params, sample_begin + i, seeds)
+  /// bit-for-bit; overrides may hoist per-point work out of the sample
+  /// loop but never perturb a draw. The default loops over Sample, so
+  /// scalar-only SimFunctions keep working.
+  virtual void SampleBatch(std::span<const double> params,
+                           std::size_t sample_begin, const SeedVector& seeds,
+                           std::span<double> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = Sample(params, sample_begin + i, seeds);
+    }
+  }
 };
 
 using SimFunctionPtr = std::shared_ptr<const SimFunction>;
@@ -44,6 +57,15 @@ class BlackBoxSimFunction : public SimFunction {
   double Sample(std::span<const double> params, std::size_t sample_id,
                 const SeedVector& seeds) const override {
     return InvokeSeeded(*model_, params, seeds.seed(sample_id), call_site_);
+  }
+
+  /// One virtual hop into the model's batch kernel (native or the scalar
+  /// fallback loop) instead of out.size() virtual Sample calls.
+  void SampleBatch(std::span<const double> params, std::size_t sample_begin,
+                   const SeedVector& seeds,
+                   std::span<double> out) const override {
+    model_->EvalBatch(params, seeds.seed_span(sample_begin, out.size()),
+                      call_site_, out);
   }
 
   const BlackBox& model() const { return *model_; }

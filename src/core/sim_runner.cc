@@ -1,5 +1,6 @@
 #include "core/sim_runner.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -12,39 +13,45 @@ SimulationRunner::SimulationRunner(const RunConfig& config,
       finder_(finder ? std::move(finder) : LinearMappingFinder::Make()),
       seeds_(config.master_seed, config.num_samples),
       basis_store_(finder_, config.index_kind, config.tolerance,
-                   config.quantum) {
+                   config.quantum,
+                   /*thread_safe=*/config.num_threads > 1) {
   JIGSAW_CHECK_MSG(config_.fingerprint_size <= config_.num_samples,
                    "fingerprint size m must be <= sample count n");
   JIGSAW_CHECK_MSG(config_.fingerprint_size >= 2,
                    "fingerprint size m must be >= 2 to fit a mapping");
+  if (config_.batch_size == 0) config_.batch_size = 1;
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
 }
 
-void SimulationRunner::EvaluateRangeSerial(const SimFunction& fn,
-                                           std::span<const double> params,
-                                           std::size_t begin, std::size_t end,
-                                           std::vector<double>* out) {
-  out->resize(end - begin);
-  for (std::size_t k = begin; k < end; ++k) {
-    (*out)[k - begin] = fn.Sample(params, k, seeds_);
+void SimulationRunner::SampleRangeSerial(const SimFunction& fn,
+                                         std::span<const double> params,
+                                         std::size_t begin,
+                                         std::span<double> out) {
+  const std::size_t batch = config_.batch_size;
+  for (std::size_t i = 0; i < out.size(); i += batch) {
+    const std::size_t len = std::min(batch, out.size() - i);
+    fn.SampleBatch(params, begin + i, seeds_, out.subspan(i, len));
   }
 }
 
-void SimulationRunner::EvaluateRange(const SimFunction& fn,
-                                     std::span<const double> params,
-                                     std::size_t begin, std::size_t end,
-                                     std::vector<double>* out) {
-  if (pool_ == nullptr || end - begin < 2 * config_.num_threads) {
-    EvaluateRangeSerial(fn, params, begin, end, out);
+void SimulationRunner::SampleRange(const SimFunction& fn,
+                                   std::span<const double> params,
+                                   std::size_t begin, std::span<double> out) {
+  const std::size_t batch = config_.batch_size;
+  const std::size_t chunks = (out.size() + batch - 1) / batch;
+  if (pool_ == nullptr || chunks < 2 ||
+      out.size() < 2 * config_.num_threads) {
+    SampleRangeSerial(fn, params, begin, out);
     return;
   }
-  // Samples are independent given their seeds; any schedule produces the
-  // same values, and the caller folds them in index order.
-  out->resize(end - begin);
-  pool_->ParallelFor(end - begin, [&](std::size_t i) {
-    (*out)[i] = fn.Sample(params, begin + i, seeds_);
+  // Samples are independent given their seeds; any chunk schedule
+  // produces the same values, and the caller folds them in index order.
+  pool_->ParallelFor(chunks, [&](std::size_t c) {
+    const std::size_t i = c * batch;
+    const std::size_t len = std::min(batch, out.size() - i);
+    fn.SampleBatch(params, begin + i, seeds_, out.subspan(i, len));
   });
 }
 
@@ -62,7 +69,7 @@ PointResult SimulationRunner::RunPoint(const SimFunction& fn,
     // The fingerprint is the first m rounds of this point's simulation.
     Fingerprint fp = ComputeFingerprint(fn, params, seeds_, m);
     stats_.blackbox_invocations += m;
-    for (double v : fp.values()) estimator.Add(v);
+    estimator.AddSpan(fp.values());
 
     if (auto match = basis_store_.FindMatch(fp)) {
       // Reuse: map the basis metrics into this point's domain. The
@@ -85,10 +92,12 @@ PointResult SimulationRunner::RunPoint(const SimFunction& fn,
       // simulation.
     }
 
-    // Miss: finish the remaining rounds and register a new basis.
-    std::vector<double> tail;
-    EvaluateRange(fn, params, m, n, &tail);
-    for (double v : tail) estimator.Add(v);
+    // Miss: finish the remaining rounds and register a new basis. The
+    // scratch buffer is reused across points — the batched path never
+    // reallocates on the hot loop.
+    scratch_.resize(n - m);
+    SampleRange(fn, params, m, scratch_);
+    estimator.AddSpan(scratch_);
     stats_.blackbox_invocations += n - m;
     result.metrics = estimator.Finalize();
     const auto& basis = basis_store_.Insert(std::move(fp), result.metrics);
@@ -99,9 +108,9 @@ PointResult SimulationRunner::RunPoint(const SimFunction& fn,
   }
 
   // Naive baseline: generate everything.
-  std::vector<double> all;
-  EvaluateRange(fn, params, 0, n, &all);
-  for (double v : all) estimator.Add(v);
+  scratch_.resize(n);
+  SampleRange(fn, params, 0, scratch_);
+  estimator.AddSpan(scratch_);
   stats_.blackbox_invocations += n;
   result.metrics = estimator.Finalize();
   result.reused = false;
@@ -135,12 +144,14 @@ std::vector<PointResult> SimulationRunner::RunSweepParallel(
   if (!config_.use_fingerprints) {
     // Naive baseline: every point is independent, so the whole sweep is
     // embarrassingly parallel. Per-point sample folds stay in index
-    // order, so metrics match the serial sweep bitwise.
+    // order, so metrics match the serial sweep bitwise. Each worker
+    // reuses one thread-local sample buffer across all its points.
     pool_->ParallelFor(n_points, [&](std::size_t i) {
+      thread_local std::vector<double> all;
+      all.resize(n);
       Estimator estimator(config_.keep_samples, config_.histogram_bins);
-      std::vector<double> all;
-      EvaluateRangeSerial(fn, valuations[i], 0, n, &all);
-      for (double v : all) estimator.Add(v);
+      SampleRangeSerial(fn, valuations[i], 0, all);
+      estimator.AddSpan(all);
       out[i].metrics = estimator.Finalize();
       out[i].reused = false;
       out[i].mapping = IdentityMapping::Make();
@@ -204,11 +215,12 @@ std::vector<PointResult> SimulationRunner::RunSweepParallel(
   std::vector<OutputMetrics> miss_metrics(miss_points.size());
   pool_->ParallelFor(miss_points.size(), [&](std::size_t j) {
     const std::size_t i = miss_points[j];
+    thread_local std::vector<double> tail;
+    tail.resize(n - m);
     Estimator estimator(config_.keep_samples, config_.histogram_bins);
-    for (double v : fps[i].values()) estimator.Add(v);
-    std::vector<double> tail;
-    EvaluateRangeSerial(fn, valuations[i], m, n, &tail);
-    for (double v : tail) estimator.Add(v);
+    estimator.AddSpan(fps[i].values());
+    SampleRangeSerial(fn, valuations[i], m, tail);
+    estimator.AddSpan(tail);
     miss_metrics[j] = estimator.Finalize();
   });
   for (std::size_t j = 0; j < miss_points.size(); ++j) {
@@ -240,7 +252,7 @@ std::vector<PointResult> SimulationRunner::RunSweepParallel(
 std::vector<PointResult> SimulationRunner::RunSweep(
     const SimFunction& fn, const ParameterSpace& space) {
   // Few points can't keep the pool busy across points; the serial sweep
-  // parallelizes *within* each point instead (EvaluateRange), which uses
+  // parallelizes *within* each point instead (SampleRange), which uses
   // the workers better there. Both paths produce identical output.
   if (pool_ == nullptr || space.NumPoints() < config_.num_threads) {
     return RunSweepSerial(fn, space);

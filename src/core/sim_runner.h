@@ -85,18 +85,20 @@ class SimulationRunner {
   const RunnerStats& stats() const { return stats_; }
 
  private:
-  /// Evaluates samples [begin, end) of `fn` into `out[k - begin]`,
-  /// fanning out across the pool when configured.
-  void EvaluateRange(const SimFunction& fn, std::span<const double> params,
-                     std::size_t begin, std::size_t end,
-                     std::vector<double>* out);
+  /// Evaluates samples [begin, begin + out.size()) of `fn` into `out`,
+  /// driving SampleBatch over batch_size chunks and fanning the chunks
+  /// out across the pool when configured. Chunk boundaries never change
+  /// a draw (sample k always comes from seed sigma_k), so output is
+  /// bit-identical at every batch size and thread count.
+  void SampleRange(const SimFunction& fn, std::span<const double> params,
+                   std::size_t begin, std::span<double> out);
 
-  /// Serial EvaluateRange. Used inside pool tasks, where nesting a
+  /// Serial SampleRange. Used inside pool tasks, where nesting a
   /// ParallelFor would deadlock (a worker blocked in WaitIdle still
   /// counts as in-flight).
-  void EvaluateRangeSerial(const SimFunction& fn,
-                           std::span<const double> params, std::size_t begin,
-                           std::size_t end, std::vector<double>* out);
+  void SampleRangeSerial(const SimFunction& fn,
+                         std::span<const double> params, std::size_t begin,
+                         std::span<double> out);
 
   std::vector<PointResult> RunSweepSerial(const SimFunction& fn,
                                           const ParameterSpace& space);
@@ -109,6 +111,9 @@ class SimulationRunner {
   BasisStore basis_store_;
   RunnerStats stats_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Reusable sample buffer for the serial per-point path (the parallel
+  /// sweep uses per-worker thread-local buffers instead).
+  std::vector<double> scratch_;
 };
 
 }  // namespace jigsaw

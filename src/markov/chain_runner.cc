@@ -1,11 +1,26 @@
 #include "markov/chain_runner.h"
 
 #include <algorithm>
+#include <span>
 
 #include "core/fingerprint.h"
 #include "util/logging.h"
 
 namespace jigsaw {
+
+namespace {
+
+/// Invokes fn(k, len) for consecutive chunks of at most `batch` covering
+/// [begin, end) — the chain runners' batching loop.
+template <typename Fn>
+void ForChunks(std::size_t begin, std::size_t end, std::size_t batch,
+               Fn&& fn) {
+  for (std::size_t k = begin; k < end; k += batch) {
+    fn(k, std::min(batch, end - k));
+  }
+}
+
+}  // namespace
 
 NaiveChainRunner::NaiveChainRunner(const RunConfig& config)
     : config_(config), seeds_(config.master_seed, config.num_samples) {}
@@ -13,14 +28,16 @@ NaiveChainRunner::NaiveChainRunner(const RunConfig& config)
 ChainResult NaiveChainRunner::Run(const MarkovProcess& process,
                                   std::int64_t target) {
   const std::size_t n = config_.num_samples;
+  const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
   ChainResult result;
   result.final_states.assign(n, process.initial_state());
   for (std::int64_t step = 1; step <= target; ++step) {
-    for (std::size_t k = 0; k < n; ++k) {
-      result.final_states[k] = process.StepForInstance(
-          result.final_states[k], step, k, seeds_);
-      ++result.stats.step_invocations;
-    }
+    // In-place batch advance: StepBatch reads entry i before writing it.
+    ForChunks(0, n, batch, [&](std::size_t k, std::size_t len) {
+      const std::span<double> chunk(result.final_states.data() + k, len);
+      process.StepBatch(chunk, step, k, seeds_, chunk);
+    });
+    result.stats.step_invocations += n;
   }
   return result;
 }
@@ -37,6 +54,8 @@ ChainResult MarkovJumpRunner::Run(const MarkovProcess& process,
   const std::size_t m = std::min(config_.fingerprint_size, n);
   JIGSAW_CHECK_MSG(m >= 2, "fingerprint size must be >= 2");
 
+  const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
+
   ChainResult result;
   result.final_states.assign(n, process.initial_state());
   std::vector<double>& state = result.final_states;
@@ -44,15 +63,24 @@ ChainResult MarkovJumpRunner::Run(const MarkovProcess& process,
 
   std::int64_t anchor = 0;  // absolute step the full state is valid at
 
+  // Rebuilds instances [m, n) through the estimator (in place, batched)
+  // and maps each prediction into the true chain's domain.
+  auto rebuild_tail = [&](std::int64_t abs_step, const MappingFunction& map) {
+    ForChunks(m, n, batch, [&](std::size_t k, std::size_t len) {
+      const std::span<double> chunk(state.data() + k, len);
+      process.EstimateBatch(chunk, anchor, abs_step, k, seeds_, chunk);
+      for (double& v : chunk) v = map.Apply(v);
+    });
+    stats.estimator_invocations += n - m;
+  };
+
   // Estimator fingerprint at an absolute step, anchored at the current
   // full state.
   auto estimator_fp = [&](std::int64_t step) {
     std::vector<double> values(m);
-    for (std::size_t k = 0; k < m; ++k) {
-      values[k] =
-          process.EstimateForInstance(state[k], anchor, step, k, seeds_);
-      ++stats.estimator_invocations;
-    }
+    process.EstimateBatch(std::span<const double>(state.data(), m), anchor,
+                          step, 0, seeds_, values);
+    stats.estimator_invocations += m;
     return Fingerprint(std::move(values));
   };
 
@@ -67,11 +95,8 @@ ChainResult MarkovJumpRunner::Run(const MarkovProcess& process,
       while (static_cast<std::int64_t>(traj.size()) < rel) {
         const std::int64_t abs_step =
             anchor + static_cast<std::int64_t>(traj.size()) + 1;
-        for (std::size_t k = 0; k < m; ++k) {
-          fp_cursor[k] =
-              process.StepForInstance(fp_cursor[k], abs_step, k, seeds_);
-          ++stats.step_invocations;
-        }
+        process.StepBatch(fp_cursor, abs_step, 0, seeds_, fp_cursor);
+        stats.step_invocations += m;
         traj.push_back(fp_cursor);
       }
     };
@@ -115,12 +140,7 @@ ChainResult MarkovJumpRunner::Run(const MarkovProcess& process,
         for (std::size_t k = 0; k < m; ++k) {
           state[k] = traj[static_cast<std::size_t>(remaining - 1)][k];
         }
-        for (std::size_t k = m; k < n; ++k) {
-          state[k] = mapping->Apply(
-              process.EstimateForInstance(state[k], anchor, target, k,
-                                          seeds_));
-          ++stats.estimator_invocations;
-        }
+        rebuild_tail(target, *mapping);
         ++stats.full_rebuilds;
         return result;
       }
@@ -150,10 +170,11 @@ ChainResult MarkovJumpRunner::Run(const MarkovProcess& process,
       for (std::size_t k = 0; k < m; ++k) {
         state[k] = traj[0][k];  // already stepped honestly
       }
-      for (std::size_t k = m; k < n; ++k) {
-        state[k] = process.StepForInstance(state[k], abs_step, k, seeds_);
-        ++stats.step_invocations;
-      }
+      ForChunks(m, n, batch, [&](std::size_t k, std::size_t len) {
+        const std::span<double> chunk(state.data() + k, len);
+        process.StepBatch(chunk, abs_step, k, seeds_, chunk);
+      });
+      stats.step_invocations += n - m;
       anchor = abs_step;
     } else {
       // Jump: rebuild the full state at anchor+lo via the mapped
@@ -162,11 +183,7 @@ ChainResult MarkovJumpRunner::Run(const MarkovProcess& process,
       for (std::size_t k = 0; k < m; ++k) {
         state[k] = traj[static_cast<std::size_t>(lo - 1)][k];
       }
-      for (std::size_t k = m; k < n; ++k) {
-        state[k] = last_valid_mapping->Apply(process.EstimateForInstance(
-            state[k], anchor, abs_step, k, seeds_));
-        ++stats.estimator_invocations;
-      }
+      rebuild_tail(abs_step, *last_valid_mapping);
       ++stats.full_rebuilds;
       anchor = abs_step;
     }
@@ -178,11 +195,18 @@ OutputMetrics ChainOutputMetrics(const MarkovProcess& process,
                                  const ChainResult& result,
                                  std::int64_t target, const SeedVector& seeds,
                                  const RunConfig& config) {
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
   Estimator est(config.keep_samples, config.histogram_bins);
-  for (std::size_t k = 0; k < result.final_states.size(); ++k) {
-    est.Add(
-        process.OutputForInstance(result.final_states[k], target, k, seeds));
-  }
+  std::vector<double> buf(std::min(batch, result.final_states.size()));
+  ForChunks(0, result.final_states.size(), batch,
+            [&](std::size_t k, std::size_t len) {
+              const std::span<double> chunk(buf.data(), len);
+              process.OutputBatch(
+                  std::span<const double>(result.final_states.data() + k,
+                                          len),
+                  target, k, seeds, chunk);
+              est.AddSpan(chunk);
+            });
   return est.Finalize();
 }
 

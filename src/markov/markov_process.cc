@@ -49,4 +49,35 @@ double MarkovProcess::OutputForInstance(double state, std::int64_t step,
   return Output(state, step, rng);
 }
 
+void MarkovProcess::StepBatch(std::span<const double> prev_states,
+                              std::int64_t step, std::size_t k_begin,
+                              const SeedVector& seeds,
+                              std::span<double> out) const {
+  JIGSAW_DCHECK(prev_states.size() == out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = StepForInstance(prev_states[i], step, k_begin + i, seeds);
+  }
+}
+
+void MarkovProcess::EstimateBatch(std::span<const double> anchor_states,
+                                  std::int64_t anchor_step, std::int64_t step,
+                                  std::size_t k_begin, const SeedVector& seeds,
+                                  std::span<double> out) const {
+  JIGSAW_DCHECK(anchor_states.size() == out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = EstimateForInstance(anchor_states[i], anchor_step, step,
+                                 k_begin + i, seeds);
+  }
+}
+
+void MarkovProcess::OutputBatch(std::span<const double> states,
+                                std::int64_t step, std::size_t k_begin,
+                                const SeedVector& seeds,
+                                std::span<double> out) const {
+  JIGSAW_DCHECK(states.size() == out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = OutputForInstance(states[i], step, k_begin + i, seeds);
+  }
+}
+
 }  // namespace jigsaw

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "random/random_stream.h"
@@ -94,6 +95,30 @@ class MarkovProcess {
   virtual double OutputForInstance(double state, std::int64_t step,
                                    std::size_t k,
                                    const SeedVector& seeds) const;
+
+  // -- batch hooks (the chain runners' hot path) ---------------------------
+  //
+  // Entry i of each batch must equal the corresponding *ForInstance call
+  // for instance k_begin + i, bit-for-bit. Defaults loop over the scalar
+  // hooks; concrete processes override to hoist per-step work (salts,
+  // config loads) out of the instance loop. `out` may alias the input
+  // span: kernels read entry i before writing it.
+
+  /// Advances instances [k_begin, k_begin + out.size()) one step.
+  virtual void StepBatch(std::span<const double> prev_states,
+                         std::int64_t step, std::size_t k_begin,
+                         const SeedVector& seeds, std::span<double> out) const;
+
+  /// Estimator evaluation for a contiguous instance range.
+  virtual void EstimateBatch(std::span<const double> anchor_states,
+                             std::int64_t anchor_step, std::int64_t step,
+                             std::size_t k_begin, const SeedVector& seeds,
+                             std::span<double> out) const;
+
+  /// Observable extraction for a contiguous instance range.
+  virtual void OutputBatch(std::span<const double> states, std::int64_t step,
+                           std::size_t k_begin, const SeedVector& seeds,
+                           std::span<double> out) const;
 };
 
 using MarkovProcessPtr = std::shared_ptr<const MarkovProcess>;

@@ -1,8 +1,19 @@
 #include "models/black_box.h"
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace jigsaw {
+
+void BlackBox::EvalBatch(std::span<const double> params,
+                         std::span<const std::uint64_t> sigmas,
+                         std::uint64_t call_site,
+                         std::span<double> out) const {
+  JIGSAW_DCHECK(sigmas.size() == out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = InvokeSeeded(*this, params, sigmas[i], call_site);
+  }
+}
 
 Status ModelRegistry::Register(BlackBoxPtr model) {
   if (Contains(model->name())) {

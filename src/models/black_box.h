@@ -37,6 +37,17 @@ class BlackBox {
   /// Section 3.1).
   virtual double Eval(std::span<const double> params,
                       RandomStream& rng) const = 0;
+
+  /// Draws `out.size()` samples, one per seed in `sigmas`, into `out`.
+  /// Sample i must equal InvokeSeeded(*this, params, sigmas[i], call_site)
+  /// bit-for-bit — batching may hoist parameter-dependent work out of the
+  /// per-sample loop but never changes any draw. The default loops over
+  /// Eval, so scalar-only models work unchanged; hot models override this
+  /// with a native kernel (see cloud_models.cc).
+  virtual void EvalBatch(std::span<const double> params,
+                         std::span<const std::uint64_t> sigmas,
+                         std::uint64_t call_site,
+                         std::span<double> out) const;
 };
 
 using BlackBoxPtr = std::shared_ptr<const BlackBox>;

@@ -1,6 +1,8 @@
 #include "models/cloud_models.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "random/philox.h"
 #include "util/logging.h"
@@ -8,6 +10,15 @@
 namespace jigsaw {
 
 namespace {
+
+/// The per-sample stream used by every native batch kernel below. Batch
+/// kernels must reproduce InvokeSeeded bit-for-bit, so the stream
+/// derivation is identical — only the parameter-dependent arithmetic
+/// around the draws gets hoisted out of the sample loop.
+inline RandomStream StreamForSigma(std::uint64_t sigma,
+                                   std::uint64_t call_site) {
+  return RandomStream(DeriveStreamSeed(sigma, call_site));
+}
 
 /// Demand(current_week, feature_release): Algorithm 1 of the paper.
 ///
@@ -43,6 +54,29 @@ class DemandModel : public BlackBox {
       var += cfg_.feature_var_rate * dt;
     }
     return rng.Normal(mean, std::sqrt(var));
+  }
+
+  /// Native kernel: mean/stddev and the feature branch are functions of
+  /// the parameter point only, so the sample loop reduces to one seeded
+  /// gaussian draw per seed.
+  void EvalBatch(std::span<const double> p,
+                 std::span<const std::uint64_t> sigmas,
+                 std::uint64_t call_site, std::span<double> out) const override {
+    JIGSAW_DCHECK(p.size() == 2);
+    const double week = p[0];
+    const double feature = p[1];
+    double mean = cfg_.demand_mean_rate * week;
+    double var = cfg_.demand_var_rate * week;
+    if (week > feature) {
+      const double dt = week - feature;
+      mean += cfg_.feature_mean_rate * dt;
+      var += cfg_.feature_var_rate * dt;
+    }
+    const double sd = std::sqrt(var);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      RandomStream rng = StreamForSigma(sigmas[i], call_site);
+      out[i] = rng.Normal(mean, sd);
+    }
   }
 
  private:
@@ -83,6 +117,27 @@ class CapacityModel : public BlackBox {
     return capacity;
   }
 
+  /// Native kernel: the purchase deltas depend only on the parameter
+  /// point; each sample draws the two settle delays and compares.
+  void EvalBatch(std::span<const double> p,
+                 std::span<const std::uint64_t> sigmas,
+                 std::uint64_t call_site, std::span<double> out) const override {
+    JIGSAW_DCHECK(p.size() == 3);
+    const double week = p[0];
+    const double delta1 = week - p[1];
+    const double delta2 = week - p[2];
+    const double lambda = 1.0 / cfg_.settle_weeks;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      RandomStream rng = StreamForSigma(sigmas[i], call_site);
+      double capacity = cfg_.base_capacity;
+      const double d1 = rng.Exponential(lambda);
+      if (delta1 >= 0.0 && d1 <= delta1) capacity += cfg_.purchase_volume;
+      const double d2 = rng.Exponential(lambda);
+      if (delta2 >= 0.0 && d2 <= delta2) capacity += cfg_.purchase_volume;
+      out[i] = capacity;
+    }
+  }
+
  private:
   CloudModelConfig cfg_;
   std::string name_;
@@ -118,6 +173,30 @@ class OverloadModel : public BlackBox {
       if (delta >= 0.0 && delay <= delta) capacity += cfg_.purchase_volume;
     }
     return capacity < demand ? 1.0 : 0.0;
+  }
+
+  /// Native kernel: demand mean/stddev and purchase deltas hoisted; each
+  /// sample is one gaussian plus two exponential draws and a compare.
+  void EvalBatch(std::span<const double> p,
+                 std::span<const std::uint64_t> sigmas,
+                 std::uint64_t call_site, std::span<double> out) const override {
+    JIGSAW_DCHECK(p.size() == 3);
+    const double week = p[0];
+    const double mean = cfg_.demand_mean_rate * week;
+    const double sd = std::sqrt(cfg_.demand_var_rate * week);
+    const double delta1 = week - p[1];
+    const double delta2 = week - p[2];
+    const double lambda = 1.0 / cfg_.settle_weeks;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      RandomStream rng = StreamForSigma(sigmas[i], call_site);
+      const double demand = rng.Normal(mean, sd);
+      double capacity = cfg_.base_capacity;
+      const double d1 = rng.Exponential(lambda);
+      if (delta1 >= 0.0 && d1 <= delta1) capacity += cfg_.purchase_volume;
+      const double d2 = rng.Exponential(lambda);
+      if (delta2 >= 0.0 && d2 <= delta2) capacity += cfg_.purchase_volume;
+      out[i] = capacity < demand ? 1.0 : 0.0;
+    }
   }
 
  private:
@@ -161,6 +240,41 @@ class UserSelectionModel : public BlackBox {
     return total;
   }
 
+  /// Native kernel: the active-user roster is data (a pure function of
+  /// the parameter point), so it is derived once per batch instead of
+  /// once per sample — the scalar path burns O(num_users) Philox blocks
+  /// per sample just to re-skip inactive users. Draw order is preserved:
+  /// the scalar loop skips a user *before* drawing, so the seeded draws
+  /// happen for active users in id order, exactly as replayed here.
+  void EvalBatch(std::span<const double> p,
+                 std::span<const std::uint64_t> sigmas,
+                 std::uint64_t call_site, std::span<double> out) const override {
+    JIGSAW_DCHECK(p.size() == 1);
+    const double week = p[0];
+    std::vector<double> active_bases;
+    active_bases.reserve(static_cast<std::size_t>(cfg_.num_users));
+    for (int u = 0; u < cfg_.num_users; ++u) {
+      double signup = 0.0, base = 0.0;
+      DeriveUserProfile(u, cfg_.user_arrival_rate, cfg_.user_base_demand,
+                        &signup, &base);
+      if (signup <= week) active_bases.push_back(base);
+    }
+    const double spread = cfg_.user_demand_spread;
+    const int depth = cfg_.user_sim_depth;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      RandomStream rng = StreamForSigma(sigmas[i], call_site);
+      double total = 0.0;
+      for (double base : active_bases) {
+        double peak = 0.0;
+        for (int d = 0; d < depth; ++d) {
+          peak = std::max(peak, rng.LogNormal(0.0, spread));
+        }
+        total += base * peak;
+      }
+      out[i] = total;
+    }
+  }
+
  private:
   CloudModelConfig cfg_;
   std::string name_;
@@ -199,6 +313,29 @@ class SynthBasisModel : public BlackBox {
     return static_cast<double>(point + 1) * z + static_cast<double>(point);
   }
 
+  /// Native kernel: class angle (and its cos/sin) plus the affine scale
+  /// are per-point; the loop is two gaussians and a fused mix per seed.
+  void EvalBatch(std::span<const double> p,
+                 std::span<const std::uint64_t> sigmas,
+                 std::uint64_t call_site, std::span<double> out) const override {
+    JIGSAW_DCHECK(p.size() == 1);
+    const auto point = static_cast<std::int64_t>(p[0]);
+    const int cls = static_cast<int>(
+        point % static_cast<std::int64_t>(cfg_.synth_num_basis));
+    const double phi = M_PI * (cls + 0.5) /
+                       (static_cast<double>(cfg_.synth_num_basis) + 1.0);
+    const double cos_phi = std::cos(phi);
+    const double sin_phi = std::sin(phi);
+    const double scale = static_cast<double>(point + 1);
+    const double offset = static_cast<double>(point);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      RandomStream rng = StreamForSigma(sigmas[i], call_site);
+      const double z1 = rng.Gaussian();
+      const double z2 = rng.Gaussian();
+      out[i] = scale * (z1 * cos_phi + z2 * sin_phi) + offset;
+    }
+  }
+
  private:
   CloudModelConfig cfg_;
   std::string name_;
@@ -226,6 +363,21 @@ class SeasonalDemandModel : public BlackBox {
            rng.Normal(0.0, std::sqrt(cfg_.demand_var_rate * (week + 1.0)));
   }
 
+  /// Native kernel: trend/seasonality and the noise stddev are per-point.
+  void EvalBatch(std::span<const double> p,
+                 std::span<const std::uint64_t> sigmas,
+                 std::uint64_t call_site, std::span<double> out) const override {
+    JIGSAW_DCHECK(p.size() == 1);
+    const double week = p[0];
+    const double level = cfg_.demand_mean_rate * week *
+                         (1.0 + 0.25 * std::sin(week * 2.0 * M_PI / 52.0));
+    const double sd = std::sqrt(cfg_.demand_var_rate * (week + 1.0));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      RandomStream rng = StreamForSigma(sigmas[i], call_site);
+      out[i] = level + rng.Normal(0.0, sd);
+    }
+  }
+
  private:
   CloudModelConfig cfg_;
   std::string name_;
@@ -250,6 +402,20 @@ class OutageModel : public BlackBox {
     const double rate =
         cfg_.failure_rate * (cfg_.base_capacity / 100.0) * (1.0 + week / 52.0);
     return static_cast<double>(rng.Poisson(rate)) * cfg_.failure_cores;
+  }
+
+  /// Native kernel: the Poisson rate is per-point.
+  void EvalBatch(std::span<const double> p,
+                 std::span<const std::uint64_t> sigmas,
+                 std::uint64_t call_site, std::span<double> out) const override {
+    JIGSAW_DCHECK(p.size() == 1);
+    const double week = p[0];
+    const double rate =
+        cfg_.failure_rate * (cfg_.base_capacity / 100.0) * (1.0 + week / 52.0);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      RandomStream rng = StreamForSigma(sigmas[i], call_site);
+      out[i] = static_cast<double>(rng.Poisson(rate)) * cfg_.failure_cores;
+    }
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "pdb/monte_carlo.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace jigsaw::pdb {
@@ -9,6 +10,16 @@ Result<MonteCarloResult> MonteCarloExecutor::Run(
   MonteCarloResult result;
   std::vector<Estimator> estimators;
   std::vector<std::string> names;
+  // Per-column staging buffers: world outputs accumulate here and fold
+  // into the estimators one whole span at a time (bit-identical to
+  // per-world Add — the streaming accumulator preserves index order).
+  std::vector<std::vector<double>> staged;
+  const std::size_t flush_at = std::max<std::size_t>(1, config_.batch_size);
+
+  auto flush = [&](std::size_t c) {
+    estimators[c].AddSpan(staged[c]);
+    staged[c].clear();
+  };
 
   for (std::size_t world = 0; world < config_.num_samples; ++world) {
     JIGSAW_ASSIGN_OR_RETURN(PlanNodePtr plan, make_plan());
@@ -28,15 +39,20 @@ Result<MonteCarloResult> MonteCarloExecutor::Run(
         estimators.emplace_back(config_.keep_samples,
                                 config_.histogram_bins);
       }
+      staged.resize(estimators.size());
+      for (auto& s : staged) s.reserve(flush_at);
     }
     const Row& row = t.row(0);
     for (std::size_t c = 0; c < row.size(); ++c) {
-      if (row[c].IsNumeric()) estimators[c].Add(row[c].AsDouble());
+      if (!row[c].IsNumeric()) continue;
+      staged[c].push_back(row[c].AsDouble());
+      if (staged[c].size() >= flush_at) flush(c);
     }
     ++result.worlds;
   }
 
   for (std::size_t c = 0; c < estimators.size(); ++c) {
+    flush(c);
     result.columns.emplace(names[c], estimators[c].Finalize());
   }
   return result;

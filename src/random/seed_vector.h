@@ -10,11 +10,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "random/philox.h"
 #include "random/random_stream.h"
 #include "random/splitmix64.h"
+#include "util/logging.h"
 
 namespace jigsaw {
 
@@ -31,6 +33,14 @@ class SeedVector {
   std::uint64_t master_seed() const { return master_seed_; }
   std::size_t size() const { return seeds_.size(); }
   std::uint64_t seed(std::size_t k) const { return seeds_[k]; }
+
+  /// Contiguous view of seeds [begin, begin + count) — the batch kernels'
+  /// input. Invalidated by EnsureSize (which may reallocate).
+  std::span<const std::uint64_t> seed_span(std::size_t begin,
+                                           std::size_t count) const {
+    JIGSAW_DCHECK(begin + count <= seeds_.size());
+    return std::span<const std::uint64_t>(seeds_).subspan(begin, count);
+  }
 
   /// Extends the vector (interactive mode grows fingerprints lazily).
   void EnsureSize(std::size_t count) {

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace jigsaw {
@@ -25,7 +26,16 @@ class WelfordAccumulator {
     if (x > max_) max_ = x;
   }
 
+  /// Adds a whole span in index order. Exactly equivalent to calling
+  /// Add element-wise (bit-for-bit), but keeps the update loop tight for
+  /// the batched sampling path.
+  void AddSpan(std::span<const double> xs) {
+    for (double x : xs) Add(x);
+  }
+
   /// Merges another accumulator (parallel reduction; Chan et al.).
+  /// Numerically stable but not bit-identical to sequential Add order —
+  /// use for statistics where last-bit determinism is not required.
   void Merge(const WelfordAccumulator& other);
 
   std::int64_t count() const { return count_; }

@@ -1,0 +1,350 @@
+// Tests for the batched sampling engine: SampleBatch/EvalBatch contracts
+// (native kernels and scalar fallbacks must match the per-sample path
+// bit-for-bit), SeedVector span access, the batched chain runners, and
+// end-to-end bit-identity of fingerprints, miss simulation and RunSweep
+// across batch sizes {1, 7, 64} × thread counts {1, 2, 8}.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "core/parameter_space.h"
+#include "core/sim_runner.h"
+#include "markov/chain_runner.h"
+#include "markov/markov_models.h"
+#include "models/cloud_models.h"
+#include "random/seed_vector.h"
+
+namespace jigsaw {
+namespace {
+
+std::uint64_t Bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+void ExpectBitIdenticalVectors(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(Bits(a[i]), Bits(b[i])) << "entry " << i;
+  }
+}
+
+void ExpectBitIdenticalMetrics(const OutputMetrics& a,
+                               const OutputMetrics& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(Bits(a.mean), Bits(b.mean));
+  EXPECT_EQ(Bits(a.stddev), Bits(b.stddev));
+  EXPECT_EQ(Bits(a.std_error), Bits(b.std_error));
+  EXPECT_EQ(Bits(a.min), Bits(b.min));
+  EXPECT_EQ(Bits(a.max), Bits(b.max));
+  EXPECT_EQ(Bits(a.p50), Bits(b.p50));
+  EXPECT_EQ(Bits(a.p95), Bits(b.p95));
+  ExpectBitIdenticalVectors(a.samples, b.samples);
+}
+
+// ---------------------------------------------------------------------------
+// SeedVector span access
+// ---------------------------------------------------------------------------
+
+TEST(SeedSpanTest, MatchesScalarAccess) {
+  const SeedVector seeds(0x1234u, 100);
+  const auto span = seeds.seed_span(17, 41);
+  ASSERT_EQ(span.size(), 41u);
+  for (std::size_t i = 0; i < span.size(); ++i) {
+    EXPECT_EQ(span[i], seeds.seed(17 + i));
+  }
+  EXPECT_EQ(seeds.seed_span(0, seeds.size()).size(), seeds.size());
+  EXPECT_TRUE(seeds.seed_span(100, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// BlackBox::EvalBatch — every native kernel must reproduce the scalar
+// path bit-for-bit (same seed ↦ same draw).
+// ---------------------------------------------------------------------------
+
+void ExpectBatchMatchesScalar(const BlackBox& model,
+                              std::span<const double> params,
+                              std::uint64_t call_site = 0) {
+  const SeedVector seeds(0xfeedu, 93);
+  const auto sigmas = seeds.seed_span(0, seeds.size());
+  std::vector<double> scalar(seeds.size());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    scalar[k] = InvokeSeeded(model, params, seeds.seed(k), call_site);
+  }
+  // Whole-range batch and a ragged chunk split must both agree.
+  std::vector<double> batched(seeds.size());
+  model.EvalBatch(params, sigmas, call_site, batched);
+  ExpectBitIdenticalVectors(batched, scalar);
+  std::fill(batched.begin(), batched.end(), 0.0);
+  for (std::size_t k = 0; k < seeds.size(); k += 7) {
+    const std::size_t len = std::min<std::size_t>(7, seeds.size() - k);
+    model.EvalBatch(params, sigmas.subspan(k, len), call_site,
+                    std::span<double>(batched.data() + k, len));
+  }
+  ExpectBitIdenticalVectors(batched, scalar);
+}
+
+TEST(BatchKernelTest, DemandMatchesScalar) {
+  const double params[] = {30.0, 20.0};  // post-release regime
+  ExpectBatchMatchesScalar(*MakeDemandModel({}), params);
+  const double pre[] = {10.0, 20.0};  // pre-release regime
+  ExpectBatchMatchesScalar(*MakeDemandModel({}), pre, /*call_site=*/3);
+}
+
+TEST(BatchKernelTest, CapacityMatchesScalar) {
+  const double params[] = {30.0, 10.0, 40.0};
+  ExpectBatchMatchesScalar(*MakeCapacityModel({}), params);
+}
+
+TEST(BatchKernelTest, OverloadMatchesScalar) {
+  const double params[] = {45.0, 20.0, 30.0};
+  ExpectBatchMatchesScalar(*MakeOverloadModel({}), params);
+}
+
+TEST(BatchKernelTest, UserSelectionMatchesScalar) {
+  CloudModelConfig cfg;
+  cfg.num_users = 50;
+  cfg.user_sim_depth = 3;
+  const double params[] = {26.0};
+  ExpectBatchMatchesScalar(*MakeUserSelectionModel(cfg), params);
+}
+
+TEST(BatchKernelTest, SynthBasisMatchesScalar) {
+  CloudModelConfig cfg;
+  cfg.synth_num_basis = 4;
+  for (double point : {0.0, 3.0, 17.0}) {
+    const double params[] = {point};
+    ExpectBatchMatchesScalar(*MakeSynthBasisModel(cfg), params);
+  }
+}
+
+TEST(BatchKernelTest, SeasonalDemandMatchesScalar) {
+  const double params[] = {13.0};
+  ExpectBatchMatchesScalar(*MakeSeasonalDemandModel({}), params);
+}
+
+TEST(BatchKernelTest, OutageMatchesScalar) {
+  const double params[] = {26.0};
+  ExpectBatchMatchesScalar(*MakeOutageModel({}), params);
+}
+
+TEST(BatchKernelTest, DefaultEvalBatchLoopsScalar) {
+  // A model without a native kernel gets the base-class fallback loop.
+  const CallableBlackBox model(
+      "mix", {"x"}, [](std::span<const double> p, RandomStream& rng) {
+        return rng.Normal(p[0], 1.0) + rng.Exponential(0.5);
+      });
+  const double params[] = {4.0};
+  ExpectBatchMatchesScalar(model, params);
+}
+
+// ---------------------------------------------------------------------------
+// SimFunction::SampleBatch
+// ---------------------------------------------------------------------------
+
+TEST(SampleBatchTest, DefaultImplementationLoopsScalar) {
+  const SeedVector seeds(0x99u, 64);
+  const CallableSimFunction fn(
+      "callable", [](std::span<const double> p, std::size_t k,
+                     const SeedVector& s) {
+        RandomStream rng = s.StreamFor(k, 0);
+        return p[0] * rng.NextDouble() + static_cast<double>(k);
+      });
+  const double params[] = {2.5};
+  std::vector<double> scalar(40), batched(40);
+  for (std::size_t k = 0; k < 40; ++k) {
+    scalar[k] = fn.Sample(params, 5 + k, seeds);
+  }
+  fn.SampleBatch(params, 5, seeds, batched);
+  ExpectBitIdenticalVectors(batched, scalar);
+}
+
+TEST(SampleBatchTest, BlackBoxSimFunctionDelegatesToEvalBatch) {
+  const SeedVector seeds(0x77u, 80);
+  const BlackBoxSimFunction fn(MakeDemandModel({}), /*call_site=*/2);
+  const double params[] = {20.0, 52.0};
+  std::vector<double> scalar(33), batched(33);
+  for (std::size_t k = 0; k < 33; ++k) {
+    scalar[k] = fn.Sample(params, 11 + k, seeds);
+  }
+  fn.SampleBatch(params, 11, seeds, batched);
+  ExpectBitIdenticalVectors(batched, scalar);
+}
+
+TEST(FingerprintTest, BatchedComputeMatchesScalarLoop) {
+  const SeedVector seeds(0xabcu, 50);
+  const BlackBoxSimFunction fn(MakeCapacityModel({}));
+  const double params[] = {20.0, 5.0, 15.0};
+  const Fingerprint fp = ComputeFingerprint(fn, params, seeds, 10);
+  ASSERT_EQ(fp.size(), 10u);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(Bits(fp[k]), Bits(fn.Sample(params, k, seeds)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end bit-identity: fingerprints, miss simulation and RunSweep at
+// batch sizes {1, 7, 64} × num_threads {1, 2, 8} — the acceptance grid.
+// ---------------------------------------------------------------------------
+
+RunConfig GridConfig(std::size_t n, std::size_t m) {
+  RunConfig cfg;
+  cfg.num_samples = n;
+  cfg.fingerprint_size = m;
+  return cfg;
+}
+
+void ExpectGridIdentical(const RunConfig& base_cfg, const SimFunction& fn,
+                         const ParameterSpace& space) {
+  RunConfig ref_cfg = base_cfg;
+  ref_cfg.num_threads = 1;
+  ref_cfg.batch_size = 1;  // pure scalar reference
+  SimulationRunner reference(ref_cfg);
+  const auto expected = reference.RunSweep(fn, space);
+
+  for (std::size_t batch : {1u, 7u, 64u}) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      RunConfig cfg = base_cfg;
+      cfg.batch_size = batch;
+      cfg.num_threads = threads;
+      SimulationRunner runner(cfg);
+      const auto got = runner.RunSweep(fn, space);
+
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        SCOPED_TRACE(::testing::Message() << "batch " << batch << ", "
+                                          << threads << " threads, point "
+                                          << i);
+        EXPECT_EQ(got[i].reused, expected[i].reused);
+        EXPECT_EQ(got[i].basis_id, expected[i].basis_id);
+        ExpectBitIdenticalMetrics(got[i].metrics, expected[i].metrics);
+      }
+      EXPECT_EQ(runner.stats().points_reused,
+                reference.stats().points_reused);
+      EXPECT_EQ(runner.stats().blackbox_invocations,
+                reference.stats().blackbox_invocations);
+      EXPECT_EQ(runner.basis_store().size(), reference.basis_store().size());
+    }
+  }
+}
+
+TEST(BatchGridTest, FingerprintSweepBitIdentical) {
+  const BlackBoxSimFunction fn(MakeDemandModel({}));
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"week", RangeDomain{1, 25, 1}}).ok());
+  ASSERT_TRUE(space.Add({"feature", SetDomain{{52.0}}}).ok());
+  ExpectGridIdentical(GridConfig(200, 10), fn, space);
+}
+
+TEST(BatchGridTest, MixedHitMissSweepBitIdentical) {
+  CloudModelConfig mcfg;
+  mcfg.synth_num_basis = 4;
+  const BlackBoxSimFunction fn(MakeSynthBasisModel(mcfg));
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"point", RangeDomain{0, 39, 1}}).ok());
+  ExpectGridIdentical(GridConfig(150, 10), fn, space);
+}
+
+TEST(BatchGridTest, NaiveSweepBitIdentical) {
+  const BlackBoxSimFunction fn(MakeDemandModel({}));
+  RunConfig cfg = GridConfig(150, 10);
+  cfg.use_fingerprints = false;
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"week", RangeDomain{1, 20, 1}}).ok());
+  ASSERT_TRUE(space.Add({"feature", SetDomain{{52.0}}}).ok());
+  ExpectGridIdentical(cfg, fn, space);
+}
+
+TEST(BatchGridTest, ScalarFallbackSweepBitIdentical) {
+  // A SimFunction with no batch kernel exercises the default SampleBatch
+  // loop underneath the whole batched pipeline.
+  const CallableSimFunction fn(
+      "fallback", [](std::span<const double> p, std::size_t k,
+                     const SeedVector& s) {
+        RandomStream rng = s.StreamFor(k, 7);
+        return rng.Normal(3.0 * p[0], 1.0 + 0.1 * p[0]);
+      });
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add({"x", RangeDomain{1, 20, 1}}).ok());
+  ExpectGridIdentical(GridConfig(150, 10), fn, space);
+}
+
+TEST(BatchGridTest, MissSimulationMetricsBitIdenticalAcrossBatchSizes) {
+  const BlackBoxSimFunction fn(MakeCapacityModel({}));
+  const double params[] = {30.0, 10.0, 20.0};
+  RunConfig ref_cfg = GridConfig(500, 10);
+  ref_cfg.batch_size = 1;
+  SimulationRunner reference(ref_cfg);
+  const PointResult expected = reference.RunPoint(fn, params);
+  ASSERT_FALSE(expected.reused);
+  for (std::size_t batch : {7u, 64u, 1000u}) {
+    RunConfig cfg = GridConfig(500, 10);
+    cfg.batch_size = batch;
+    SimulationRunner runner(cfg);
+    const PointResult got = runner.RunPoint(fn, params);
+    SCOPED_TRACE(::testing::Message() << "batch " << batch);
+    EXPECT_FALSE(got.reused);
+    ExpectBitIdenticalMetrics(got.metrics, expected.metrics);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched chain runners
+// ---------------------------------------------------------------------------
+
+void ExpectChainRunsIdentical(const MarkovProcess& process,
+                              std::int64_t target) {
+  RunConfig ref_cfg;
+  ref_cfg.num_samples = 96;
+  ref_cfg.fingerprint_size = 8;
+  ref_cfg.batch_size = 1;
+
+  const ChainResult naive_ref = NaiveChainRunner(ref_cfg).Run(process, target);
+  const ChainResult jump_ref = MarkovJumpRunner(ref_cfg).Run(process, target);
+
+  for (std::size_t batch : {7u, 64u, 256u}) {
+    RunConfig cfg = ref_cfg;
+    cfg.batch_size = batch;
+    SCOPED_TRACE(::testing::Message() << "batch " << batch);
+
+    const ChainResult naive = NaiveChainRunner(cfg).Run(process, target);
+    ExpectBitIdenticalVectors(naive.final_states, naive_ref.final_states);
+    EXPECT_EQ(naive.stats.step_invocations,
+              naive_ref.stats.step_invocations);
+
+    const ChainResult jump = MarkovJumpRunner(cfg).Run(process, target);
+    ExpectBitIdenticalVectors(jump.final_states, jump_ref.final_states);
+    EXPECT_EQ(jump.stats.step_invocations, jump_ref.stats.step_invocations);
+    EXPECT_EQ(jump.stats.estimator_invocations,
+              jump_ref.stats.estimator_invocations);
+    EXPECT_EQ(jump.stats.checkpoints, jump_ref.stats.checkpoints);
+    EXPECT_EQ(jump.stats.full_rebuilds, jump_ref.stats.full_rebuilds);
+
+    const OutputMetrics out = ChainOutputMetrics(
+        process, jump, target, MarkovJumpRunner(cfg).seeds(), cfg);
+    const OutputMetrics out_ref = ChainOutputMetrics(
+        process, jump_ref, target, MarkovJumpRunner(ref_cfg).seeds(),
+        ref_cfg);
+    ExpectBitIdenticalMetrics(out, out_ref);
+  }
+}
+
+TEST(ChainBatchTest, MarkovStepBitIdenticalAcrossBatchSizes) {
+  ExpectChainRunsIdentical(MarkovStepProcess(MarkovStepConfig{}), 60);
+}
+
+TEST(ChainBatchTest, MarkovBranchBitIdenticalAcrossBatchSizes) {
+  MarkovBranchConfig cfg;
+  cfg.branching = 0.02;  // force a few mismatch rebuilds within 200 steps
+  ExpectChainRunsIdentical(MarkovBranchProcess(cfg), 200);
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/basis_store.h"
@@ -13,6 +17,7 @@
 #include "core/fingerprint_index.h"
 #include "core/mapping.h"
 #include "core/metrics.h"
+#include "core/optimizer.h"
 #include "core/sim_function.h"
 #include "models/cloud_models.h"
 #include "random/splitmix64.h"
@@ -297,6 +302,50 @@ TEST(IndexTest, ArrayReturnsEverything) {
   EXPECT_EQ(candidates.size(), 2u);
 }
 
+TEST(IndexTest, SortedSidReturnsBasisForDecreasingMapProbe) {
+  // A monotone *decreasing* map reverses the sorted-SID permutation; the
+  // index must still return the basis by probing the reversed key
+  // ("comparing both the SID sequence and its inverse", Section 3.2).
+  auto finder = LinearMappingFinder::Make();
+  auto index = MakeFingerprintIndex(IndexKind::kSortedSid, finder, kTol, 1e-6);
+  const Fingerprint basis = FP({3.0, -1.0, 7.5, 0.2, 4.4});
+  index->Insert(0, basis);
+
+  std::vector<double> probe_vals;
+  for (double x : basis.values()) probe_vals.push_back(-2.0 * x + 1.0);
+  const Fingerprint probe = FP(probe_vals);
+  ASSERT_NE(finder->Find(basis, probe, kTol), nullptr)
+      << "precondition: the decreasing map is in the linear class";
+
+  std::vector<BasisId> candidates;
+  index->GetCandidates(probe, &candidates);
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), 0u),
+            candidates.end())
+      << "reversed-permutation probe must surface the basis";
+}
+
+TEST(IndexTest, DecreasingMapProbeParityAcrossIndexKinds) {
+  // Array (trivially) and Normalization (alpha < 0 is in the linear
+  // class's normal form) must agree with SortedSID on the decreasing-map
+  // probe: all three return the basis as a candidate.
+  auto finder = LinearMappingFinder::Make();
+  const Fingerprint basis = FP({3.0, -1.0, 7.5, 0.2, 4.4});
+  std::vector<double> probe_vals;
+  for (double x : basis.values()) probe_vals.push_back(-0.5 * x - 2.0);
+  const Fingerprint probe = FP(probe_vals);
+
+  for (IndexKind kind : {IndexKind::kArray, IndexKind::kNormalization,
+                         IndexKind::kSortedSid}) {
+    auto index = MakeFingerprintIndex(kind, finder, kTol, 1e-6);
+    index->Insert(0, basis);
+    std::vector<BasisId> candidates;
+    index->GetCandidates(probe, &candidates);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), 0u),
+              candidates.end())
+        << IndexKindName(kind);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Metrics & M_est (Section 3's derived mapping on aggregates)
 // ---------------------------------------------------------------------------
@@ -352,6 +401,94 @@ TEST(MetricsTest, MappedSamplesTransformElementwise) {
   ASSERT_EQ(mapped->samples.size(), 3u);
   EXPECT_DOUBLE_EQ(mapped->samples[0], 3.0);
   EXPECT_DOUBLE_EQ(mapped->samples[2], 7.0);
+}
+
+TEST(MetricsTest, ExtractMetricQuantilesOnSingleSample) {
+  const OutputMetrics m = MetricsFromSamples({4.25}, false, 4);
+  EXPECT_DOUBLE_EQ(ExtractMetric(m, MetricSelector::kMedian), 4.25);
+  EXPECT_DOUBLE_EQ(ExtractMetric(m, MetricSelector::kP95), 4.25);
+  EXPECT_DOUBLE_EQ(ExtractMetric(m, MetricSelector::kMin), 4.25);
+  EXPECT_DOUBLE_EQ(ExtractMetric(m, MetricSelector::kMax), 4.25);
+}
+
+TEST(MetricsTest, ExtractMetricQuantilesOnTwoSamples) {
+  // QuantileSorted interpolates between closest ranks: with two samples
+  // the q-quantile sits at position q along [s0, s1].
+  const OutputMetrics m = MetricsFromSamples({10.0, 20.0}, false, 4);
+  EXPECT_DOUBLE_EQ(ExtractMetric(m, MetricSelector::kMedian), 15.0);
+  EXPECT_DOUBLE_EQ(ExtractMetric(m, MetricSelector::kP95),
+                   10.0 * 0.05 + 20.0 * 0.95);
+}
+
+TEST(MetricsTest, ExtractMetricQuantilesOnThreeSamples) {
+  // Unsorted input; position for q is q * (n - 1) = 2q.
+  const OutputMetrics m = MetricsFromSamples({30.0, 10.0, 20.0}, false, 4);
+  EXPECT_DOUBLE_EQ(ExtractMetric(m, MetricSelector::kMedian), 20.0);
+  EXPECT_DOUBLE_EQ(ExtractMetric(m, MetricSelector::kP95),
+                   20.0 * 0.1 + 30.0 * 0.9);
+}
+
+TEST(MetricsTest, AddSpanMatchesElementwiseAddBitForBit) {
+  // The batched engine's correctness contract: folding whole spans must
+  // be indistinguishable — to the last bit — from per-sample Add.
+  SplitMix64 rng(31337);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) {
+    x = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53 * 200.0 - 100.0;
+  }
+  Estimator scalar(/*keep_samples=*/true, /*histogram_bins=*/10);
+  for (double x : xs) scalar.Add(x);
+  Estimator spans(/*keep_samples=*/true, /*histogram_bins=*/10);
+  // Ragged chunking, including empty and single-element spans.
+  std::size_t i = 0;
+  for (std::size_t len : {0u, 1u, 7u, 64u}) {
+    spans.AddSpan(std::span<const double>(xs.data() + i, len));
+    i += len;
+  }
+  spans.AddSpan(std::span<const double>(xs.data() + i, xs.size() - i));
+
+  const OutputMetrics a = scalar.Finalize();
+  const OutputMetrics b = spans.Finalize();
+  auto bits = [](double x) {
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof u);
+    return u;
+  };
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(bits(a.mean), bits(b.mean));
+  EXPECT_EQ(bits(a.stddev), bits(b.stddev));
+  EXPECT_EQ(bits(a.std_error), bits(b.std_error));
+  EXPECT_EQ(bits(a.min), bits(b.min));
+  EXPECT_EQ(bits(a.max), bits(b.max));
+  EXPECT_EQ(bits(a.p50), bits(b.p50));
+  EXPECT_EQ(bits(a.p95), bits(b.p95));
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t k = 0; k < a.samples.size(); ++k) {
+    ASSERT_EQ(bits(a.samples[k]), bits(b.samples[k])) << "sample " << k;
+  }
+}
+
+TEST(MetricsTest, WelfordMergeMatchesSequentialStatistics) {
+  // Chan et al. pairwise merge is the parallel-reduction half of the
+  // streaming accumulator: not bit-identical to sequential order, but
+  // must agree to tight relative tolerance.
+  std::vector<double> xs(512);
+  SplitMix64 rng(99);
+  for (auto& x : xs) {
+    x = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53 * 10.0;
+  }
+  WelfordAccumulator seq;
+  seq.AddSpan(xs);
+  WelfordAccumulator left, right;
+  left.AddSpan(std::span<const double>(xs.data(), 200));
+  right.AddSpan(std::span<const double>(xs.data() + 200, xs.size() - 200));
+  left.Merge(right);
+  EXPECT_EQ(left.count(), seq.count());
+  EXPECT_NEAR(left.mean(), seq.mean(), 1e-12 * std::fabs(seq.mean()) + 1e-15);
+  EXPECT_NEAR(left.variance(), seq.variance(),
+              1e-10 * seq.variance() + 1e-15);
+  EXPECT_DOUBLE_EQ(left.min(), seq.min());
+  EXPECT_DOUBLE_EQ(left.max(), seq.max());
 }
 
 // ---------------------------------------------------------------------------
