@@ -18,25 +18,36 @@
 //
 // Every row is emitted as a JSON-lines record on stdout (BENCH_*.json
 // trajectories); a human summary goes to stderr. The binary exits
-// non-zero if any scalar/batched checksum pair disagrees — it doubles as
-// a bit-identity smoke test in CI.
+// non-zero if any checksum pair disagrees — it doubles as a bit-identity
+// smoke test in CI.
 //
-// Flags: --num_samples=N --batch_size=N (bench_common.h). The bench is
-// single-threaded by design — it isolates per-kernel sample throughput;
-// thread scaling is bench_parallel_sweep's job.
+// Flags: --num_samples=N --batch_size=N --num_threads=N (bench_common.h).
+// With --num_threads > 1 each workload additionally runs a "threaded"
+// mode that fans SampleBatch chunks out on a ThreadPool (the SampleRange
+// fan-out), and a "worlds" phase drives MonteCarloExecutor's possible-
+// worlds chunk fan-out serial-vs-parallel — so one bench covers both
+// chunked parallel paths, each checked bitwise against its serial twin.
+// Point-sweep thread scaling remains bench_parallel_sweep's job.
 
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "core/fingerprint.h"
 #include "core/sim_function.h"
 #include "models/cloud_models.h"
+#include "pdb/expr.h"
+#include "pdb/monte_carlo.h"
+#include "pdb/operators.h"
 #include "random/seed_vector.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -116,6 +127,82 @@ RunResult Drive(const SimFunction& fn, const Workload& w,
   return r;
 }
 
+/// Threaded twin of Drive: the per-point sample range fans out across
+/// `pool` in batch-sized chunks written to disjoint subspans — exactly
+/// SampleRange's chunk schedule — and the checksum folds each point's
+/// buffer after the barrier, so it must match the scalar run bitwise.
+RunResult DriveThreaded(const SimFunction& fn, const Workload& w,
+                        const SeedVector& seeds, std::size_t points,
+                        std::size_t samples_per_point, std::size_t batch,
+                        ThreadPool& pool) {
+  RunResult r;
+  Checksum sum;
+  std::vector<double> buf(samples_per_point);
+  WallTimer timer;
+  const std::size_t chunks = (samples_per_point + batch - 1) / batch;
+  for (std::size_t p = 0; p < points; ++p) {
+    const std::vector<double> params = w.params_for(p);
+    pool.ParallelFor(chunks, [&](std::size_t c) {
+      const std::size_t i = c * batch;
+      const std::size_t len = std::min(batch, samples_per_point - i);
+      fn.SampleBatch(params, i, seeds,
+                     std::span<double>(buf.data() + i, len));
+    });
+    sum.Fold(buf);
+  }
+  r.elapsed_s = timer.ElapsedSeconds();
+  r.samples = static_cast<std::uint64_t>(points) * samples_per_point;
+  r.checksum = sum.value();
+  return r;
+}
+
+/// Order-sensitive bitwise fold over a Monte Carlo result's per-column
+/// summaries (columns iterate in name order; map is sorted).
+std::uint64_t MetricsChecksum(const pdb::MonteCarloResult& result) {
+  Checksum sum;
+  for (const auto& [name, m] : result.columns) {
+    const double fields[] = {static_cast<double>(m.count), m.mean, m.stddev,
+                             m.std_error, m.min,           m.max,  m.p50,
+                             m.p95};
+    sum.Fold(fields);
+  }
+  return sum.value();
+}
+
+/// Drives MonteCarloExecutor's possible-worlds fan-out: a one-column
+/// stochastic plan evaluated over `worlds` sampled worlds.
+RunResult DriveWorlds(std::size_t worlds, std::size_t threads,
+                      std::size_t batch) {
+  RunConfig cfg;
+  cfg.num_samples = worlds;
+  cfg.num_threads = threads;
+  cfg.batch_size = batch;
+  pdb::MonteCarloExecutor executor(cfg);
+  const auto model = MakeDemandModel({});
+  auto factory = [&]() -> jigsaw::Result<pdb::PlanNodePtr> {
+    return pdb::MakeProject(
+        pdb::MakeDualScan(),
+        {pdb::MakeModelCall(model,
+                            {pdb::MakeParamRef(0, "week"),
+                             pdb::MakeLiteral(pdb::Value(52.0))},
+                            1)},
+        {"demand"});
+  };
+  const std::vector<double> params = {25.0};
+  RunResult r;
+  WallTimer timer;
+  auto result = executor.Run(factory, params);
+  r.elapsed_s = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "worlds run failed: %s\n",
+                 result.status().ToString().c_str());
+    return r;
+  }
+  r.samples = worlds;
+  r.checksum = MetricsChecksum(result.value());
+  return r;
+}
+
 void EmitRow(const std::string& bench, const std::string& model,
              const std::string& mode, const BenchFlags& flags,
              std::size_t points, std::size_t samples_per_point,
@@ -127,6 +214,7 @@ void EmitRow(const std::string& bench, const std::string& model,
       .Num("points", static_cast<double>(points))
       .Num("samples_per_point", static_cast<double>(samples_per_point))
       .Num("batch_size", static_cast<double>(flags.batch_size))
+      .Num("num_threads", static_cast<double>(flags.num_threads))
       .Num("elapsed_s", r.elapsed_s)
       .Num("samples_per_sec",
            r.elapsed_s > 0.0 ? static_cast<double>(r.samples) / r.elapsed_s
@@ -183,6 +271,11 @@ int main(int argc, char** argv) {
       {"ScalarMix", scalar_mix, &WeekParam},
   };
 
+  std::unique_ptr<ThreadPool> pool;
+  if (flags.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(flags.num_threads);
+  }
+
   bool checksums_ok = true;
   for (const auto& w : workloads) {
     const ScalarizedSimFunction scalar_fn(*w.fn);
@@ -209,16 +302,57 @@ int main(int argc, char** argv) {
       const double speedup =
           batched.elapsed_s > 0.0 ? scalar.elapsed_s / batched.elapsed_s
                                   : 0.0;
-      const bool same = scalar.checksum == batched.checksum;
+      bool same = scalar.checksum == batched.checksum;
       checksums_ok = checksums_ok && same;
       std::fprintf(stderr, "%-22s %-12s speedup %5.2fx  checksums %s\n",
                    w.model.c_str(), phase.name, speedup,
                    same ? "match" : "MISMATCH");
+      if (pool != nullptr) {
+        const RunResult threaded =
+            DriveThreaded(*w.fn, w, seeds, phase.points,
+                          phase.samples_per_point, flags.batch_size, *pool);
+        EmitRow(phase.name, w.model, "threaded", flags, phase.points,
+                phase.samples_per_point, threaded);
+        same = scalar.checksum == threaded.checksum;
+        checksums_ok = checksums_ok && same;
+        std::fprintf(stderr,
+                     "%-22s %-12s threaded (%zu workers)  checksums %s\n",
+                     w.model.c_str(), phase.name, flags.num_threads,
+                     same ? "match" : "MISMATCH");
+      }
     }
   }
 
+  // Possible-worlds fan-out: MonteCarloExecutor serial vs parallel over
+  // the same worlds must agree bitwise on every column summary.
+  {
+    const std::size_t worlds = flags.num_samples;
+    const RunResult serial = DriveWorlds(worlds, /*threads=*/1,
+                                         /*batch=*/1);
+    const RunResult parallel =
+        DriveWorlds(worlds, std::max<std::size_t>(1, flags.num_threads),
+                    flags.batch_size);
+    // The baseline row must carry the config it actually ran with.
+    BenchFlags serial_flags = flags;
+    serial_flags.num_threads = 1;
+    serial_flags.batch_size = 1;
+    EmitRow("worlds", "DemandModel", "serial", serial_flags, 1, worlds,
+            serial);
+    EmitRow("worlds", "DemandModel", "parallel", flags, 1, worlds, parallel);
+    const bool same =
+        serial.checksum == parallel.checksum && serial.samples == worlds;
+    checksums_ok = checksums_ok && same;
+    std::fprintf(stderr, "%-22s %-12s speedup %5.2fx  checksums %s\n",
+                 "MonteCarloExecutor", "worlds",
+                 parallel.elapsed_s > 0.0
+                     ? serial.elapsed_s / parallel.elapsed_s
+                     : 0.0,
+                 same ? "match" : "MISMATCH");
+  }
+
   if (!checksums_ok) {
-    std::fprintf(stderr, "FAIL: batched path diverged from scalar path\n");
+    std::fprintf(stderr, "FAIL: a parallel/batched path diverged from its "
+                         "serial twin\n");
     return 1;
   }
   return 0;

@@ -70,10 +70,18 @@ OutputMetrics Estimator::Finalize() const {
   out.min = acc_.count() ? acc_.min() : 0.0;
   out.max = acc_.count() ? acc_.max() : 0.0;
   if (!all_.empty()) {
-    std::vector<double> sorted(all_);
+    // Quantiles are taken over the finite mass: NaNs break std::sort's
+    // strict weak ordering, and the histogram drops them anyway.
+    std::vector<double> sorted;
+    sorted.reserve(all_.size());
+    for (double x : all_) {
+      if (std::isfinite(x)) sorted.push_back(x);
+    }
     std::sort(sorted.begin(), sorted.end());
-    out.p50 = QuantileSorted(sorted, 0.50);
-    out.p95 = QuantileSorted(sorted, 0.95);
+    if (!sorted.empty()) {
+      out.p50 = QuantileSorted(sorted, 0.50);
+      out.p95 = QuantileSorted(sorted, 0.95);
+    }
     out.histogram = Histogram::FromSamples(all_, histogram_bins_);
   }
   if (keep_samples_) out.samples = all_;

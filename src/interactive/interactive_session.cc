@@ -47,7 +47,11 @@ InteractiveSession::InteractiveSession(SimFunctionPtr fn,
       config_(config),
       seeds_(config.run.master_seed, config.max_samples),
       heuristic_rng_(config.run.master_seed ^ 0x1A7EAC717E5A17ULL),
-      finder_(LinearMappingFinder::Make()) {}
+      finder_(LinearMappingFinder::Make()) {
+  if (config_.run.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.run.num_threads);
+  }
+}
 
 InteractiveSession::~InteractiveSession() = default;
 
@@ -102,9 +106,28 @@ std::size_t InteractiveSession::ExploreHeuristic(std::size_t point_index) {
 void InteractiveSession::EvaluateBatch(std::size_t point_index,
                                        const std::vector<std::size_t>& ids) {
   PointState& state = StateFor(point_index);
+
+  // Evaluate first — in parallel when a pool is attached, since each
+  // sample is a pure function of its id — then fold serially in id order
+  // so basis updates and rebind decisions never depend on the schedule.
+  std::vector<std::size_t> valid;
+  valid.reserve(ids.size());
   for (std::size_t id : ids) {
-    if (id >= config_.max_samples) continue;
-    const double value = fn_->Sample(state.valuation, id, seeds_);
+    if (id < config_.max_samples) valid.push_back(id);
+  }
+  std::vector<double> values(valid.size());
+  auto eval = [&](std::size_t i) {
+    values[i] = fn_->Sample(state.valuation, valid[i], seeds_);
+  };
+  if (pool_ != nullptr && valid.size() >= 2) {
+    pool_->ParallelFor(valid.size(), eval);
+  } else {
+    for (std::size_t i = 0; i < valid.size(); ++i) eval(i);
+  }
+
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    const std::size_t id = valid[i];
+    const double value = values[i];
     ++stats_.evaluations;
     state.own[id] = value;
 

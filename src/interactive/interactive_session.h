@@ -32,10 +32,15 @@
 #include "random/random_stream.h"
 #include "util/math_util.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace jigsaw {
 
 struct InteractiveConfig {
+  /// run.num_threads > 1 evaluates each tick's sample batch on a worker
+  /// pool. Samples are pure functions of their ids and the fold back into
+  /// basis/point state stays serial in id order, so every estimate and
+  /// statistic is bit-identical to the single-threaded session.
   RunConfig run;
   /// Samples generated per tick (Algorithm 5 uses PickAtRandom(10, ...)).
   std::size_t batch_size = 10;
@@ -112,6 +117,7 @@ class InteractiveSession {
   ParameterSpace space_;
   InteractiveConfig config_;
   SeedVector seeds_;
+  std::unique_ptr<ThreadPool> pool_;
   RandomStream heuristic_rng_;
   std::size_t focus_ = 0;
   std::map<std::size_t, std::unique_ptr<PointState>> points_;

@@ -1,5 +1,8 @@
 #include "pdb/layered_engine.h"
 
+#include <atomic>
+
+#include "pdb/monte_carlo.h"
 #include "util/logging.h"
 
 namespace jigsaw::pdb {
@@ -45,50 +48,42 @@ PlanNodePtr MakeCachedVGScan(VGTableFunctionPtr fn, WorldCache* cache) {
 Result<LayeredPointResult> LayeredEngine::RunPoint(
     const PlanFactory& make_plan, std::span<const double> params) {
   LayeredPointResult result;
-  std::vector<Estimator> estimators;
-  std::vector<std::string> names;
 
   const std::uint64_t before = world_cache_.generation_count();
-  for (std::size_t world = 0; world < config_.num_samples; ++world) {
+  // Pool tasks bump the counters concurrently; the totals are
+  // deterministic on success (every world runs exactly once).
+  std::atomic<std::uint64_t> plans_built{0};
+  std::atomic<std::uint64_t> rows_serialized{0};
+
+  auto run_world = [&](std::size_t world) -> Result<Table> {
     // Fresh plan per invocation: the layered prototype re-submits the
     // query to the DBMS for every sampled world.
     JIGSAW_ASSIGN_OR_RETURN(PlanNodePtr plan, make_plan());
-    ++stats_.plans_built;
+    plans_built.fetch_add(1, std::memory_order_relaxed);
 
     EvalContext ctx;
     ctx.params = params;
     ctx.sample_id = world;
     ctx.seeds = &seeds_;
     JIGSAW_ASSIGN_OR_RETURN(Table t, ExecuteToTable(*plan, ctx));
-    if (t.num_rows() != 1) {
-      return Status::ExecutionError(
-          "layered query must produce exactly one row per world");
-    }
 
     // Interop boundary: the result set leaves the "DBMS" as text and is
     // parsed back in the "client".
     const std::string wire = t.ToCsv();
-    JIGSAW_ASSIGN_OR_RETURN(Table parsed,
-                            Table::FromCsv(wire, t.schema()));
-    stats_.rows_serialized += parsed.num_rows();
+    JIGSAW_ASSIGN_OR_RETURN(Table parsed, Table::FromCsv(wire, t.schema()));
+    rows_serialized.fetch_add(parsed.num_rows(), std::memory_order_relaxed);
+    return parsed;
+  };
 
-    if (estimators.empty()) {
-      for (std::size_t c = 0; c < parsed.schema().num_columns(); ++c) {
-        names.push_back(parsed.schema().column(c).name);
-        estimators.emplace_back(config_.keep_samples,
-                                config_.histogram_bins);
-      }
-    }
-    const Row& row = parsed.row(0);
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      if (row[c].IsNumeric()) estimators[c].Add(row[c].AsDouble());
-    }
-  }
+  auto folded = FoldWorlds(config_.num_samples, config_, pool_.get(),
+                           run_world);
+  // Record the work actually performed even when a world errors out —
+  // the serial loop counted per world before propagating failures.
+  stats_.plans_built += plans_built.load();
+  stats_.rows_serialized += rows_serialized.load();
   stats_.worlds_generated += world_cache_.generation_count() - before;
-
-  for (std::size_t c = 0; c < estimators.size(); ++c) {
-    result.columns.emplace(names[c], estimators[c].Finalize());
-  }
+  JIGSAW_RETURN_IF_ERROR(folded.status());
+  result.columns = std::move(folded).value();
   return result;
 }
 

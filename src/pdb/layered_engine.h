@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "pdb/operators.h"
 #include "pdb/vg_table.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace jigsaw::pdb {
 
@@ -44,11 +46,19 @@ struct LayeredEngineStats {
 class LayeredEngine {
  public:
   explicit LayeredEngine(const RunConfig& config)
-      : config_(config), seeds_(config.master_seed, config.num_samples) {}
+      : config_(config), seeds_(config.master_seed, config.num_samples) {
+    if (config_.batch_size == 0) config_.batch_size = 1;
+    if (config_.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    }
+  }
 
   /// Builds the per-invocation plan for one (parameter valuation, world):
   /// called once per sample per point, modeling per-query SQL submission.
-  /// The factory may capture the engine's WorldCache for VG scans.
+  /// The factory may capture the engine's WorldCache for VG scans. With
+  /// num_threads > 1 worlds evaluate concurrently (the original prototype
+  /// ran its per-world queries against a multi-session DBMS, after all),
+  /// so the factory must be thread-safe; WorldCache already is.
   using PlanFactory = std::function<Result<PlanNodePtr>()>;
 
   /// Evaluates one parameter point with n interpreted possible-world
@@ -69,6 +79,7 @@ class LayeredEngine {
   SeedVector seeds_;
   WorldCache world_cache_;
   LayeredEngineStats stats_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// A VG scan node bound to a LayeredEngine world cache: scans the cached

@@ -3,58 +3,159 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/string_util.h"
+
 namespace jigsaw::pdb {
+
+namespace {
+
+/// Output layout locked on world 0: which schema columns exist, which of
+/// them are numeric, and the result name of each numeric slot.
+struct WorldLayout {
+  std::size_t num_columns = 0;
+  std::vector<bool> numeric;        ///< per schema column
+  std::vector<std::string> names;   ///< numeric columns only, in order
+};
+
+Status CheckOneRow(const Table& t) {
+  if (t.num_rows() != 1) {
+    return Status::ExecutionError(
+        "Monte Carlo world query must produce exactly one row, got " +
+        std::to_string(t.num_rows()));
+  }
+  return Status::OK();
+}
+
+/// Validates one world's row against the locked layout and appends its
+/// numeric values (in slot order) to `buffers`.
+Status FoldRow(const Table& t, std::size_t world, const WorldLayout& layout,
+               std::vector<std::vector<double>>& buffers) {
+  JIGSAW_RETURN_IF_ERROR(CheckOneRow(t));
+  if (t.schema().num_columns() != layout.num_columns) {
+    return Status::ExecutionError(StrFormat(
+        "world %zu produced %zu column(s); world 0 produced %zu", world,
+        t.schema().num_columns(), layout.num_columns));
+  }
+  const Row& row = t.row(0);
+  std::size_t slot = 0;
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    const bool numeric = row[c].IsNumeric();
+    if (numeric != layout.numeric[c]) {
+      return Status::ExecutionError(StrFormat(
+          "column '%s' is %s in world %zu but %s in world 0; a column's "
+          "type must not depend on the sampled world",
+          t.schema().column(c).name.c_str(),
+          numeric ? "numeric" : "non-numeric", world,
+          layout.numeric[c] ? "numeric" : "non-numeric"));
+    }
+    if (numeric) buffers[slot++].push_back(row[c].AsDouble());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::map<std::string, OutputMetrics>> FoldWorlds(
+    std::size_t num_worlds, const RunConfig& config, ThreadPool* pool,
+    const WorldFn& run_world) {
+  std::map<std::string, OutputMetrics> out;
+  if (num_worlds == 0) return out;
+
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
+  const std::size_t num_chunks = (num_worlds + batch - 1) / batch;
+
+  // World 0 runs up front to lock the column layout; every later world is
+  // validated against it, so a type that flips across worlds fails loudly
+  // instead of silently dropping samples from one column's statistics.
+  JIGSAW_ASSIGN_OR_RETURN(Table first, run_world(0));
+  JIGSAW_RETURN_IF_ERROR(CheckOneRow(first));
+  WorldLayout layout;
+  layout.num_columns = first.schema().num_columns();
+  {
+    const Row& row = first.row(0);
+    for (std::size_t c = 0; c < layout.num_columns; ++c) {
+      const bool numeric = row[c].IsNumeric();
+      layout.numeric.push_back(numeric);
+      if (numeric) layout.names.push_back(first.schema().column(c).name);
+    }
+  }
+  const std::size_t width = layout.names.size();
+
+  // stage[chunk][slot] holds chunk `chunk`'s samples of numeric column
+  // `slot` in world order; chunk 0 is pre-seeded with world 0's row so
+  // the chunk partition covers [0, num_worlds) exactly.
+  std::vector<std::vector<std::vector<double>>> stage(
+      num_chunks, std::vector<std::vector<double>>(width));
+  std::vector<Status> chunk_status(num_chunks, Status::OK());
+  JIGSAW_RETURN_IF_ERROR(FoldRow(first, 0, layout, stage[0]));
+
+  auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * batch;
+    const std::size_t end = std::min(begin + batch, num_worlds);
+    auto& buffers = stage[chunk];
+    for (auto& b : buffers) b.reserve(end - begin);
+    for (std::size_t world = std::max<std::size_t>(begin, 1); world < end;
+         ++world) {
+      auto t = run_world(world);
+      Status s = t.ok() ? FoldRow(t.value(), world, layout, buffers)
+                        : t.status();
+      if (!s.ok()) {
+        chunk_status[chunk] = std::move(s);
+        return;
+      }
+    }
+  };
+
+  if (pool != nullptr && num_chunks >= 2) {
+    pool->ParallelFor(num_chunks, run_chunk);
+  } else {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      run_chunk(c);
+      if (!chunk_status[c].ok()) break;
+    }
+  }
+
+  // The first failing chunk carries the lowest failing world: chunks scan
+  // their worlds in order and stop at the first error, and every world
+  // before that one lives in an earlier-or-equal chunk — so the reported
+  // error matches the serial run's regardless of schedule.
+  for (Status& s : chunk_status) {
+    JIGSAW_RETURN_IF_ERROR(std::move(s));
+  }
+
+  // Merge in chunk index order: AddSpan folds element-wise in order, so
+  // any chunk partition yields the same bits as a world-at-a-time fold.
+  std::vector<Estimator> estimators(
+      width, Estimator(config.keep_samples, config.histogram_bins));
+  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    for (std::size_t slot = 0; slot < width; ++slot) {
+      estimators[slot].AddSpan(stage[chunk][slot]);
+    }
+    // Release each chunk as it folds: the estimators accumulate their own
+    // copy, so keeping the staging around would double peak memory.
+    stage[chunk] = {};
+  }
+  for (std::size_t slot = 0; slot < width; ++slot) {
+    out.emplace(layout.names[slot], estimators[slot].Finalize());
+  }
+  return out;
+}
 
 Result<MonteCarloResult> MonteCarloExecutor::Run(
     const PlanFactory& make_plan, std::span<const double> params) {
-  MonteCarloResult result;
-  std::vector<Estimator> estimators;
-  std::vector<std::string> names;
-  // Per-column staging buffers: world outputs accumulate here and fold
-  // into the estimators one whole span at a time (bit-identical to
-  // per-world Add — the streaming accumulator preserves index order).
-  std::vector<std::vector<double>> staged;
-  const std::size_t flush_at = std::max<std::size_t>(1, config_.batch_size);
-
-  auto flush = [&](std::size_t c) {
-    estimators[c].AddSpan(staged[c]);
-    staged[c].clear();
-  };
-
-  for (std::size_t world = 0; world < config_.num_samples; ++world) {
+  auto run_world = [&](std::size_t world) -> Result<Table> {
     JIGSAW_ASSIGN_OR_RETURN(PlanNodePtr plan, make_plan());
     EvalContext ctx;
     ctx.params = params;
     ctx.sample_id = world;
     ctx.seeds = &seeds_;
-    JIGSAW_ASSIGN_OR_RETURN(Table t, ExecuteToTable(*plan, ctx));
-    if (t.num_rows() != 1) {
-      return Status::ExecutionError(
-          "Monte Carlo world query must produce exactly one row, got " +
-          std::to_string(t.num_rows()));
-    }
-    if (estimators.empty()) {
-      for (std::size_t c = 0; c < t.schema().num_columns(); ++c) {
-        names.push_back(t.schema().column(c).name);
-        estimators.emplace_back(config_.keep_samples,
-                                config_.histogram_bins);
-      }
-      staged.resize(estimators.size());
-      for (auto& s : staged) s.reserve(flush_at);
-    }
-    const Row& row = t.row(0);
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      if (!row[c].IsNumeric()) continue;
-      staged[c].push_back(row[c].AsDouble());
-      if (staged[c].size() >= flush_at) flush(c);
-    }
-    ++result.worlds;
-  }
-
-  for (std::size_t c = 0; c < estimators.size(); ++c) {
-    flush(c);
-    result.columns.emplace(names[c], estimators[c].Finalize());
-  }
+    return ExecuteToTable(*plan, ctx);
+  };
+  MonteCarloResult result;
+  JIGSAW_ASSIGN_OR_RETURN(
+      result.columns,
+      FoldWorlds(config_.num_samples, config_, pool_.get(), run_world));
+  result.worlds = config_.num_samples;
   return result;
 }
 

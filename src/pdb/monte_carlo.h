@@ -9,9 +9,16 @@
 /// The executor runs a caller-supplied per-world query plan n times (one
 /// per sampled world), expects a single result row per world, and folds
 /// each numeric output column into an OutputMetrics distribution summary.
+///
+/// Worlds are embarrassingly parallel: each world's randomness is a pure
+/// function of its seed, so with RunConfig::num_threads > 1 the executor
+/// fans batch_size-sized world chunks out on a ThreadPool and merges the
+/// per-chunk staging buffers in world-index order — bit-identical to the
+/// serial run at every (num_threads, batch_size) combination.
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/metrics.h"
@@ -19,11 +26,36 @@
 #include "pdb/operators.h"
 #include "random/seed_vector.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace jigsaw::pdb {
 
+/// Evaluates one possible world into its single-row result table. Invoked
+/// concurrently from pool tasks when a ThreadPool is supplied, so the
+/// callable must be thread-safe (each invocation builds its own plan and
+/// evaluation state; shared caches such as WorldCache synchronize
+/// internally).
+using WorldFn = std::function<Result<Table>(std::size_t world)>;
+
+/// Shared possible-worlds fold used by MonteCarloExecutor and
+/// LayeredEngine. Runs `run_world` for every world in [0, num_worlds) and
+/// folds each numeric output column into an OutputMetrics summary.
+///
+/// World 0 locks the output layout: non-numeric columns are excluded from
+/// the result (they have no distribution to summarize), and a column
+/// whose numeric-ness flips in a later world is an ExecutionError rather
+/// than a silently skewed statistic. With a non-null `pool`, worlds are
+/// partitioned into config.batch_size-sized chunks evaluated across the
+/// pool into per-chunk per-column staging buffers, then merged in chunk
+/// index order through Estimator::AddSpan — bit-identical to the serial
+/// fold, which stages through the same buffers.
+Result<std::map<std::string, OutputMetrics>> FoldWorlds(
+    std::size_t num_worlds, const RunConfig& config, ThreadPool* pool,
+    const WorldFn& run_world);
+
 struct MonteCarloResult {
   /// Per-output-column distribution summaries, keyed by column name.
+  /// Only columns that are numeric in world 0 appear.
   std::map<std::string, OutputMetrics> columns;
   std::size_t worlds = 0;
 };
@@ -31,11 +63,19 @@ struct MonteCarloResult {
 class MonteCarloExecutor {
  public:
   explicit MonteCarloExecutor(const RunConfig& config)
-      : config_(config), seeds_(config.master_seed, config.num_samples) {}
+      : config_(config), seeds_(config.master_seed, config.num_samples) {
+    if (config_.batch_size == 0) config_.batch_size = 1;
+    if (config_.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+    }
+  }
 
   /// `make_plan` builds the per-world query plan (the plan may embed
   /// stochastic expressions and VG scans; the world is selected through
   /// EvalContext::sample_id). The plan must produce exactly one row.
+  /// With num_threads > 1 the factory is invoked concurrently from pool
+  /// tasks — it must be thread-safe and every call must return an
+  /// independent plan (plans carry mutable evaluation state).
   using PlanFactory = std::function<Result<PlanNodePtr>()>;
 
   Result<MonteCarloResult> Run(const PlanFactory& make_plan,
@@ -47,6 +87,7 @@ class MonteCarloExecutor {
  private:
   RunConfig config_;
   SeedVector seeds_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace jigsaw::pdb

@@ -9,12 +9,20 @@ Result<const Table*> WorldCache::GetOrGenerate(const VGTableFunction& fn,
                                                std::size_t sample_id,
                                                const SeedVector& seeds) {
   const auto key = std::make_pair(fn.name(), sample_id);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return &it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return &it->second;
+  }
+  // Generate outside the lock so distinct worlds realize concurrently.
+  // Realizations are pure functions of (seeds, sample_id), so if two
+  // tasks race on the same key both produce the identical table and the
+  // losing copy is discarded without counting a generation.
   JIGSAW_ASSIGN_OR_RETURN(Table t, fn.Generate(sample_id, seeds));
-  ++generations_;
-  auto [inserted, _] = cache_.emplace(key, std::move(t));
-  return &inserted->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.try_emplace(key, std::move(t));
+  if (inserted) ++generations_;
+  return &it->second;
 }
 
 namespace {

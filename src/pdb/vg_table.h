@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "pdb/table.h"
@@ -37,7 +38,12 @@ class VGTableFunction {
 
 using VGTableFunctionPtr = std::shared_ptr<const VGTableFunction>;
 
-/// Memoizes realizations per (table name, sample id).
+/// Memoizes realizations per (table name, sample id). Safe to share
+/// across the pool tasks of a parallel possible-worlds run: lookups and
+/// inserts are mutex-guarded, generation runs outside the lock, and the
+/// first insert of a key wins (so generation_count stays deterministic —
+/// one generation per distinct world actually realized). Returned
+/// pointers stay valid for the cache's lifetime (map nodes are stable).
 class WorldCache {
  public:
   /// Returns the cached realization, generating it on first use.
@@ -45,11 +51,21 @@ class WorldCache {
                                      std::size_t sample_id,
                                      const SeedVector& seeds);
 
-  std::size_t size() const { return cache_.size(); }
-  std::uint64_t generation_count() const { return generations_; }
-  void Clear() { cache_.clear(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  std::uint64_t generation_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generations_;
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::pair<std::string, std::size_t>, Table> cache_;
   std::uint64_t generations_ = 0;
 };

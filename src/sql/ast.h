@@ -14,6 +14,7 @@
 ///     GROUP BY p, ...
 ///     FOR MAX @p1, MIN @p2;                                 -- Figure 1
 ///   GRAPH OVER @p EXPECT col WITH style..., ...;            -- Section 2.2
+///   MONTECARLO [USING DIRECT | LAYERED];                    -- Section 2.1
 
 #include <memory>
 #include <optional>
@@ -128,12 +129,21 @@ struct GraphStmt {
   std::vector<GraphSeriesAst> series;
 };
 
+/// MONTECARLO [USING DIRECT | LAYERED]: evaluates the scenario SELECT at
+/// one parameter valuation through the possible-worlds executor and
+/// reports full per-column distribution summaries (Section 2.1's sampled
+/// databases, as opposed to the fingerprint-reusing sweep).
+struct MonteCarloStmt {
+  bool layered = false;  ///< USING LAYERED routes through LayeredEngine
+};
+
 struct Statement {
   // Exactly one is set.
   std::unique_ptr<DeclareStmt> declare;
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<OptimizeStmt> optimize;
   std::unique_ptr<GraphStmt> graph;
+  std::unique_ptr<MonteCarloStmt> montecarlo;
 };
 
 struct Script {

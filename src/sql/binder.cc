@@ -467,7 +467,19 @@ Result<BoundScript> Binder::Bind(const Script& script) {
     bound.optimize = std::move(spec);
   }
 
-  // Pass 5: GRAPH.
+  // Pass 5: MONTECARLO. Nothing to resolve beyond uniqueness — the
+  // statement runs the already-compiled row program; a CHAIN scenario is
+  // fine (the chain parameter is frozen at its anchor value, the same
+  // convention the synthesized estimator uses).
+  for (const auto& stmt : script.statements) {
+    if (!stmt.montecarlo) continue;
+    if (bound.montecarlo) {
+      return Status::BindError("multiple MONTECARLO statements");
+    }
+    bound.montecarlo = MonteCarloSpec{stmt.montecarlo->layered};
+  }
+
+  // Pass 6: GRAPH.
   for (const auto& stmt : script.statements) {
     if (!stmt.graph) continue;
     if (bound.graph) {

@@ -53,12 +53,20 @@ struct RowProgram {
       const SeedVector& seeds, std::uint64_t stream_salt = 0) const;
 };
 
+/// MONTECARLO statement: run the scenario's row program through the
+/// possible-worlds executor at a single valuation — the direct
+/// MonteCarloExecutor or (USING LAYERED) the layered prototype engine.
+struct MonteCarloSpec {
+  bool layered = false;
+};
+
 struct BoundScript {
   Scenario scenario;
   std::shared_ptr<const RowProgram> program;
   std::optional<OptimizeSpec> optimize;
   std::optional<GraphSpec> graph;
   std::optional<BoundChain> chain;
+  std::optional<MonteCarloSpec> montecarlo;
 };
 
 class Binder {

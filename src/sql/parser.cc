@@ -169,7 +169,12 @@ class Parser {
       stmt.graph = std::make_unique<GraphStmt>(std::move(g));
       return stmt;
     }
-    return Error("expected DECLARE, SELECT, OPTIMIZE or GRAPH");
+    if (PeekKeyword("MONTECARLO")) {
+      JIGSAW_ASSIGN_OR_RETURN(auto m, ParseMonteCarlo());
+      stmt.montecarlo = std::make_unique<MonteCarloStmt>(m);
+      return stmt;
+    }
+    return Error("expected DECLARE, SELECT, OPTIMIZE, GRAPH or MONTECARLO");
   }
 
   Result<DeclareStmt> ParseDeclare() {
@@ -360,6 +365,21 @@ class Parser {
       graph.series.push_back(std::move(series));
     } while (AcceptSymbol(","));
     return graph;
+  }
+
+  Result<MonteCarloStmt> ParseMonteCarlo() {
+    JIGSAW_RETURN_IF_ERROR(ExpectKeyword("MONTECARLO"));
+    MonteCarloStmt mc;
+    if (AcceptKeyword("USING")) {
+      if (AcceptKeyword("LAYERED")) {
+        mc.layered = true;
+      } else if (AcceptKeyword("DIRECT")) {
+        mc.layered = false;
+      } else {
+        return Error("expected DIRECT or LAYERED after USING");
+      }
+    }
+    return mc;
   }
 
   // -- expressions (precedence climbing) -----------------------------------

@@ -1,9 +1,90 @@
 #include "sql/script_runner.h"
 
+#include <algorithm>
+
+#include "pdb/layered_engine.h"
+#include "pdb/monte_carlo.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace jigsaw::sql {
+
+namespace {
+
+/// One-row plan over the scenario's compiled projection: evaluates every
+/// outer column of the RowProgram for the context's (params, world) pair.
+/// This is the SQL-bound Monte Carlo path — the factory hands a fresh
+/// node per world, and the node carries no shared mutable state, so it is
+/// safe under the executor's world fan-out.
+class RowProgramScanNode final : public pdb::PlanNode {
+ public:
+  explicit RowProgramScanNode(std::shared_ptr<const RowProgram> program)
+      : program_(std::move(program)), schema_(MakeSchema(*program_)) {}
+
+  const pdb::Schema& schema() const override { return schema_; }
+
+  Status Open(pdb::EvalContext& ctx) override {
+    if (ctx.seeds == nullptr) {
+      return Status::ExecutionError(
+          "row program evaluated without a seed vector");
+    }
+    JIGSAW_ASSIGN_OR_RETURN(
+        values_, program_->EvalAllColumns(ctx.params, ctx.sample_id,
+                                          *ctx.seeds, ctx.stream_salt));
+    done_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(pdb::Row* out) override {
+    if (done_) return false;
+    done_ = true;
+    pdb::Row row;
+    row.reserve(values_.size());
+    for (double v : values_) row.emplace_back(v);
+    *out = std::move(row);
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  static pdb::Schema MakeSchema(const RowProgram& program) {
+    std::vector<pdb::Column> cols;
+    cols.reserve(program.outer_names.size());
+    for (const auto& name : program.outer_names) {
+      cols.push_back({name, pdb::ValueType::kDouble});
+    }
+    return pdb::Schema(std::move(cols));
+  }
+
+  std::shared_ptr<const RowProgram> program_;
+  pdb::Schema schema_;
+  std::vector<double> values_;
+  bool done_ = true;
+};
+
+/// Fixes every parameter: overrides first, then the first value of its
+/// domain (the same convention the GRAPH sweep uses for non-x params).
+Result<std::vector<double>> BaseValuation(
+    const ParameterSpace& params,
+    const std::vector<std::pair<std::string, double>>& overrides) {
+  std::vector<double> valuation(params.num_params(), 0.0);
+  for (std::size_t i = 0; i < params.num_params(); ++i) {
+    const auto values = params.def(i).Values();
+    valuation[i] = values.empty() ? 0.0 : values[0];
+  }
+  for (const auto& [name, value] : overrides) {
+    auto idx = params.IndexOf(name);
+    if (!idx) {
+      return Status::InvalidArgument("override for undeclared '@" + name +
+                                     "'");
+    }
+    valuation[*idx] = value;
+  }
+  return valuation;
+}
+
+}  // namespace
 
 std::string ScriptOutcome::Report() const {
   std::string out;
@@ -14,6 +95,15 @@ std::string ScriptOutcome::Report() const {
     out += StrFormat("GRAPH over @%s: %zu points x %zu series\n",
                      graph->spec.x_param.c_str(), graph->points.size(),
                      graph->spec.series.size());
+  }
+  if (montecarlo) {
+    out += StrFormat("MONTECARLO (%s engine, %zu worlds, %zu thread%s):\n",
+                     montecarlo->layered ? "layered" : "direct",
+                     montecarlo->worlds, montecarlo->num_threads,
+                     montecarlo->num_threads == 1 ? "" : "s");
+    for (const auto& [name, metrics] : montecarlo->columns) {
+      out += "  " + name + " " + metrics.ToString() + "\n";
+    }
   }
   out += StrFormat(
       "points evaluated: %llu, reused: %llu (%.1f%%), basis "
@@ -65,20 +155,8 @@ Result<ScriptOutcome> ScriptRunner::Run(
 
     // Fix every non-x parameter: overrides first, then the first value of
     // its domain.
-    std::vector<double> valuation(params.num_params(), 0.0);
-    for (std::size_t i = 0; i < params.num_params(); ++i) {
-      const auto& def = params.def(i);
-      const auto values = def.Values();
-      valuation[i] = values.empty() ? 0.0 : values[0];
-    }
-    for (const auto& [name, value] : overrides) {
-      auto idx = params.IndexOf(name);
-      if (!idx) {
-        return Status::InvalidArgument("override for undeclared '@" + name +
-                                       "'");
-      }
-      valuation[*idx] = value;
-    }
+    JIGSAW_ASSIGN_OR_RETURN(std::vector<double> valuation,
+                            BaseValuation(params, overrides));
 
     // Resolve series columns to SimFunctions once.
     std::vector<const ScenarioColumn*> cols;
@@ -102,6 +180,36 @@ Result<ScriptOutcome> ScriptRunner::Run(
       data.points.push_back(std::move(point));
     }
     outcome.graph = std::move(data);
+  }
+
+  if (bound.montecarlo) {
+    JIGSAW_ASSIGN_OR_RETURN(
+        std::vector<double> valuation,
+        BaseValuation(bound.scenario.params, overrides));
+    // Each world gets its own scan node; the shared RowProgram is
+    // immutable, so the factory is thread-safe under the executor's
+    // world fan-out (RunConfig::num_threads).
+    std::shared_ptr<const RowProgram> program = bound.program;
+    auto factory = [program]() -> Result<pdb::PlanNodePtr> {
+      return pdb::PlanNodePtr(std::make_unique<RowProgramScanNode>(program));
+    };
+
+    MonteCarloOutcome mc;
+    mc.layered = bound.montecarlo->layered;
+    mc.worlds = config_.num_samples;
+    mc.num_threads = std::max<std::size_t>(1, config_.num_threads);
+    if (bound.montecarlo->layered) {
+      pdb::LayeredEngine engine(config_);
+      JIGSAW_ASSIGN_OR_RETURN(pdb::LayeredPointResult point,
+                              engine.RunPoint(factory, valuation));
+      mc.columns = std::move(point.columns);
+    } else {
+      pdb::MonteCarloExecutor executor(config_);
+      JIGSAW_ASSIGN_OR_RETURN(pdb::MonteCarloResult result,
+                              executor.Run(factory, valuation));
+      mc.columns = std::move(result.columns);
+    }
+    outcome.montecarlo = std::move(mc);
   }
 
   outcome.runner_stats = runner.stats();

@@ -7,11 +7,13 @@
 /// (interactive mode's presentation, Section 2.2). This is the highest-
 /// level entry point of the library; the examples and the REPL sit on it.
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/graph_spec.h"
+#include "core/metrics.h"
 #include "core/optimizer.h"
 #include "core/run_config.h"
 #include "core/sim_runner.h"
@@ -31,10 +33,20 @@ struct GraphData {
   std::vector<GraphPoint> points;
 };
 
+/// Result of a MONTECARLO statement: full per-column distribution
+/// summaries over the sampled possible worlds at one valuation.
+struct MonteCarloOutcome {
+  std::map<std::string, OutputMetrics> columns;
+  std::size_t worlds = 0;
+  std::size_t num_threads = 1;  ///< worker threads the worlds fanned over
+  bool layered = false;         ///< true if run through LayeredEngine
+};
+
 struct ScriptOutcome {
   BoundScript bound;
   std::optional<OptimizeResult> optimize;
   std::optional<GraphData> graph;
+  std::optional<MonteCarloOutcome> montecarlo;
   RunnerStats runner_stats;
   std::size_t basis_count = 0;
 

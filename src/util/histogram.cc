@@ -16,10 +16,15 @@ Histogram::Histogram(double lo, double hi, int num_bins)
 
 Histogram Histogram::FromSamples(const std::vector<double>& samples,
                                  int num_bins) {
+  // Range over the finite samples only: a single NaN/inf must not poison
+  // every bin boundary (non-finite samples are dropped by Add below).
   double lo = 0.0, hi = 1.0;
-  if (!samples.empty()) {
-    lo = *std::min_element(samples.begin(), samples.end());
-    hi = *std::max_element(samples.begin(), samples.end());
+  bool seen_finite = false;
+  for (double s : samples) {
+    if (!std::isfinite(s)) continue;
+    lo = seen_finite ? std::min(lo, s) : s;
+    hi = seen_finite ? std::max(hi, s) : s;
+    seen_finite = true;
   }
   Histogram h(lo, hi, num_bins);
   for (double s : samples) h.Add(s);
@@ -27,6 +32,12 @@ Histogram Histogram::FromSamples(const std::vector<double>& samples,
 }
 
 void Histogram::Add(double x) {
+  if (!std::isfinite(x)) {
+    // floor() of NaN/±inf is non-finite and casting it to int is UB; a
+    // non-finite observation has no bin, so count it as dropped instead.
+    ++dropped_;
+    return;
+  }
   int bin = static_cast<int>(std::floor((x - lo_) / width_));
   bin = std::max(0, std::min(bin, num_bins() - 1));
   ++counts_[static_cast<std::size_t>(bin)];
@@ -34,10 +45,31 @@ void Histogram::Add(double x) {
 }
 
 Histogram Histogram::AffineTransformed(double alpha, double beta) const {
+  if (alpha == 0.0) {
+    // M collapses every sample to beta; copying the old bin layout would
+    // pretend the original spread survived. All mass lands in the single
+    // bin containing beta (unit-width range centered there). A non-finite
+    // beta has no bin, exactly like a non-finite Add: everything drops.
+    if (!std::isfinite(beta)) {
+      Histogram out(0.0, 1.0, num_bins());
+      out.dropped_ = dropped_ + total_;
+      return out;
+    }
+    Histogram out(beta - 0.5, beta + 0.5, num_bins());
+    out.total_ = total_;
+    out.dropped_ = dropped_;
+    if (total_ > 0) {
+      int bin = static_cast<int>(std::floor((beta - out.lo_) / out.width_));
+      bin = std::max(0, std::min(bin, num_bins() - 1));
+      out.counts_[static_cast<std::size_t>(bin)] = total_;
+    }
+    return out;
+  }
   const double a = lo_ * alpha + beta;
   const double b = hi_ * alpha + beta;
   Histogram out(std::min(a, b), std::max(a, b), num_bins());
   out.total_ = total_;
+  out.dropped_ = dropped_;
   if (alpha >= 0) {
     out.counts_ = counts_;
   } else {

@@ -22,17 +22,23 @@ class Histogram {
   static Histogram FromSamples(const std::vector<double>& samples,
                                int num_bins);
 
+  /// Bins a finite observation. Non-finite observations (NaN, ±inf) have
+  /// no bin; they are skipped and tallied in dropped_count().
   void Add(double x);
 
   /// Applies M(x) = alpha*x + beta to the bin boundaries. A negative alpha
   /// reverses bin order. Counts are preserved exactly, which is the key
   /// property that makes histogram reuse free of resampling error.
+  /// alpha == 0 collapses the distribution to the point beta: all mass
+  /// moves into the single bin containing beta.
   Histogram AffineTransformed(double alpha, double beta) const;
 
   int num_bins() const { return static_cast<int>(counts_.size()); }
   double lo() const { return lo_; }
   double hi() const { return hi_; }
   std::int64_t total_count() const { return total_; }
+  /// Non-finite observations rejected by Add.
+  std::int64_t dropped_count() const { return dropped_; }
   std::int64_t bin_count(int i) const { return counts_[i]; }
   double bin_lo(int i) const;
   double bin_hi(int i) const;
@@ -48,7 +54,8 @@ class Histogram {
   std::string ToAscii(int width = 40) const;
 
   bool operator==(const Histogram& other) const {
-    return lo_ == other.lo_ && hi_ == other.hi_ && counts_ == other.counts_;
+    return lo_ == other.lo_ && hi_ == other.hi_ && total_ == other.total_ &&
+           dropped_ == other.dropped_ && counts_ == other.counts_;
   }
 
  private:
@@ -56,6 +63,7 @@ class Histogram {
   double hi_;
   double width_;
   std::int64_t total_ = 0;
+  std::int64_t dropped_ = 0;
   std::vector<std::int64_t> counts_;
 };
 

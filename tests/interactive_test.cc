@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "interactive/ascii_graph.h"
 #include "interactive/interactive_session.h"
@@ -135,6 +136,40 @@ TEST(InteractiveTest, ValidationDetectsFalseSharingAndRebinds) {
   const DisplayEstimate est = session.EstimateFor(1);
   ASSERT_TRUE(est.available);
   EXPECT_GT(est.mean, 50.0);
+}
+
+TEST(InteractiveTest, ThreadedSessionIsBitIdenticalToSerial) {
+  // num_threads only parallelizes sample evaluation inside a tick; the
+  // fold into basis/point state stays serial in id order, so the whole
+  // trajectory — estimates and stats — must match the serial session.
+  auto run = [](std::size_t threads) {
+    InteractiveConfig cfg = SmallConfig();
+    cfg.run.num_threads = threads;
+    auto session = std::make_unique<InteractiveSession>(
+        DemandFn(), DemandSpace(), cfg);
+    EXPECT_TRUE(session->SetFocus(14).ok());
+    session->Run(150);
+    return session;
+  };
+  auto serial = run(1);
+  for (std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    auto parallel = run(threads);
+    EXPECT_EQ(serial->stats().evaluations, parallel->stats().evaluations);
+    EXPECT_EQ(serial->stats().rebinds, parallel->stats().rebinds);
+    EXPECT_EQ(serial->stats().basis_created,
+              parallel->stats().basis_created);
+    EXPECT_EQ(serial->stats().borrow_hits, parallel->stats().borrow_hits);
+    EXPECT_EQ(serial->basis_count(), parallel->basis_count());
+    for (std::size_t point : {13u, 14u, 15u}) {
+      const DisplayEstimate a = serial->EstimateFor(point);
+      const DisplayEstimate b = parallel->EstimateFor(point);
+      EXPECT_EQ(a.available, b.available);
+      EXPECT_EQ(a.mean, b.mean);
+      EXPECT_EQ(a.std_error, b.std_error);
+      EXPECT_EQ(a.support, b.support);
+    }
+  }
 }
 
 TEST(InteractiveTest, SetFocusValidatesRange) {

@@ -6,6 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
 
 #include "models/cloud_models.h"
 #include "pdb/expr.h"
@@ -478,6 +482,234 @@ TEST(MonteCarloTest, MultiRowResultIsError) {
   auto factory = [&]() -> Result<PlanNodePtr> { return MakeTableScan(&t); };
   EXPECT_EQ(executor.Run(factory, {}).status().code(),
             StatusCode::kExecutionError);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel Monte Carlo (possible-worlds fan-out)
+// ---------------------------------------------------------------------------
+
+void ExpectMetricsBitIdentical(const OutputMetrics& a,
+                               const OutputMetrics& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.std_error, b.std_error);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p95, b.p95);
+  ASSERT_EQ(a.histogram.has_value(), b.histogram.has_value());
+  if (a.histogram) EXPECT_TRUE(*a.histogram == *b.histogram);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+void ExpectResultsBitIdentical(const MonteCarloResult& a,
+                               const MonteCarloResult& b) {
+  EXPECT_EQ(a.worlds, b.worlds);
+  ASSERT_EQ(a.columns.size(), b.columns.size());
+  for (const auto& [name, metrics] : a.columns) {
+    ASSERT_TRUE(b.columns.count(name)) << name;
+    ExpectMetricsBitIdentical(metrics, b.columns.at(name));
+  }
+}
+
+MonteCarloExecutor::PlanFactory TwoColumnFactory(
+    const BlackBoxPtr& demand, const BlackBoxPtr& capacity) {
+  return [=]() -> Result<PlanNodePtr> {
+    return MakeProject(
+        MakeDualScan(),
+        {MakeModelCall(demand,
+                       {MakeParamRef(0, "week"), MakeLiteral(Value(52.0))},
+                       1),
+         MakeModelCall(capacity,
+                       {MakeParamRef(0, "week"), MakeLiteral(Value(12.0)),
+                        MakeLiteral(Value(30.0))},
+                       2)},
+        {"demand", "capacity"});
+  };
+}
+
+TEST(MonteCarloParallelTest, BitIdenticalAcrossThreadsAndBatches) {
+  CloudModelConfig mcfg;
+  auto demand = MakeDemandModel(mcfg);
+  auto capacity = MakeCapacityModel(mcfg);
+  const std::vector<double> params = {25.0};
+
+  RunConfig base;
+  base.num_samples = 200;
+  base.keep_samples = true;
+  MonteCarloExecutor serial(base);
+  auto reference = serial.Run(TwoColumnFactory(demand, capacity), params);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference.value().columns.size(), 2u);
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    for (std::size_t batch : {1u, 7u, 64u}) {
+      RunConfig cfg = base;
+      cfg.num_threads = threads;
+      cfg.batch_size = batch;
+      MonteCarloExecutor executor(cfg);
+      auto result = executor.Run(TwoColumnFactory(demand, capacity), params);
+      ASSERT_TRUE(result.ok())
+          << "threads=" << threads << " batch=" << batch << ": "
+          << result.status().ToString();
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " batch=" << batch);
+      ExpectResultsBitIdentical(reference.value(), result.value());
+    }
+  }
+}
+
+TEST(MonteCarloParallelTest, SharedWorldCacheIsDeterministic) {
+  auto users = MakeUsersVGTable(80, 0.05, 0.05, 0.3);
+  const std::vector<double> params = {15.0};
+
+  auto run = [&](std::size_t threads, std::size_t batch) {
+    RunConfig cfg;
+    cfg.num_samples = 60;
+    cfg.num_threads = threads;
+    cfg.batch_size = batch;
+    MonteCarloExecutor executor(cfg);
+    // Every world's task hits the shared cache concurrently; the cache
+    // must hand back identical realizations and count one generation per
+    // world regardless of schedule.
+    auto cache = std::make_shared<WorldCache>();
+    auto factory = [users, cache]() -> Result<PlanNodePtr> {
+      std::vector<AggSpec> aggs;
+      aggs.push_back(
+          AggSpec{AggKind::kSum, MakeColumnRef(2, "requirement"), "total"});
+      return MakeHashAggregate(
+          MakeFilter(MakeCachedVGScan(users, cache.get()),
+                     MakeBinary(BinaryOp::kLe,
+                                MakeColumnRef(1, "signup_week"),
+                                MakeParamRef(0, "week"))),
+          {}, {}, std::move(aggs));
+    };
+    auto result = executor.Run(factory, params);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(cache->generation_count(), 60u);
+    return std::move(result).value();
+  };
+
+  const MonteCarloResult reference = run(1, 64);
+  for (std::size_t threads : {2u, 8u}) {
+    for (std::size_t batch : {1u, 7u}) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " batch=" << batch);
+      ExpectResultsBitIdentical(reference, run(threads, batch));
+    }
+  }
+}
+
+/// Emits one row whose single column's value (and type) is produced from
+/// the world id — the knob the type-locking regression tests need.
+class WorldValueNode final : public PlanNode {
+ public:
+  explicit WorldValueNode(std::function<Value(std::size_t)> fn)
+      : fn_(std::move(fn)),
+        schema_(std::vector<Column>{{"x", ValueType::kDouble}}) {}
+
+  const Schema& schema() const override { return schema_; }
+
+  Status Open(EvalContext& ctx) override {
+    world_ = ctx.sample_id;
+    done_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (done_) return false;
+    done_ = true;
+    *out = Row{fn_(world_)};
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  std::function<Value(std::size_t)> fn_;
+  Schema schema_;
+  std::size_t world_ = 0;
+  bool done_ = true;
+};
+
+TEST(MonteCarloParallelTest, ColumnTypeFlipIsErrorNotSilentSkew) {
+  // Numeric in world 0, string from world 5 on: before the locking fix
+  // the later worlds were silently dropped from the column's statistics.
+  auto make_factory = []() -> MonteCarloExecutor::PlanFactory {
+    return []() -> Result<PlanNodePtr> {
+      return PlanNodePtr(std::make_unique<WorldValueNode>(
+          [](std::size_t world) {
+            return world < 5 ? Value(1.0 + static_cast<double>(world))
+                             : Value(std::string("oops"));
+          }));
+    };
+  };
+  for (std::size_t threads : {1u, 4u}) {
+    RunConfig cfg;
+    cfg.num_samples = 40;
+    cfg.num_threads = threads;
+    cfg.batch_size = 7;
+    MonteCarloExecutor executor(cfg);
+    auto result = executor.Run(make_factory(), {});
+    ASSERT_FALSE(result.ok()) << "threads=" << threads;
+    EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+    // The reported world is the serial run's: the first flipped one.
+    EXPECT_NE(result.status().message().find("world 5"), std::string::npos)
+        << result.status().message();
+  }
+}
+
+TEST(MonteCarloParallelTest, NonNumericColumnIsExcludedNotEmpty) {
+  // A column that is non-numeric in every world has no distribution;
+  // before the fix it produced a zero-sample Finalize() summary.
+  CloudModelConfig mcfg;
+  auto demand = MakeDemandModel(mcfg);
+  auto factory = [&]() -> Result<PlanNodePtr> {
+    return MakeProject(
+        MakeDualScan(),
+        {MakeLiteral(Value(std::string("label"))),
+         MakeModelCall(demand,
+                       {MakeParamRef(0, "week"), MakeLiteral(Value(52.0))},
+                       1)},
+        {"tag", "demand"});
+  };
+  RunConfig cfg;
+  cfg.num_samples = 20;
+  MonteCarloExecutor executor(cfg);
+  const std::vector<double> params = {10.0};
+  auto result = executor.Run(factory, params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().columns.count("tag"), 0u);
+  ASSERT_EQ(result.value().columns.count("demand"), 1u);
+  EXPECT_EQ(result.value().columns.at("demand").count, 20);
+}
+
+TEST(MonteCarloParallelTest, NaNSamplesAreCountedNotUndefinedBehavior) {
+  // NaN in odd worlds: the histogram must drop (and count) them instead
+  // of feeding floor(NaN) to an integer cast. Runs under ASan/UBSan in
+  // CI, which is what catches the pre-fix cast.
+  auto factory = []() -> Result<PlanNodePtr> {
+    return PlanNodePtr(std::make_unique<WorldValueNode>(
+        [](std::size_t world) {
+          return world % 2 == 1
+                     ? Value(std::numeric_limits<double>::quiet_NaN())
+                     : Value(1.0);
+        }));
+  };
+  RunConfig cfg;
+  cfg.num_samples = 40;
+  cfg.num_threads = 2;
+  cfg.batch_size = 7;
+  MonteCarloExecutor executor(cfg);
+  auto result = executor.Run(factory, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& x = result.value().columns.at("x");
+  EXPECT_EQ(x.count, 40);
+  EXPECT_DOUBLE_EQ(x.p50, 1.0);  // quantiles are over the finite mass
+  ASSERT_TRUE(x.histogram.has_value());
+  EXPECT_EQ(x.histogram->total_count(), 20);
+  EXPECT_EQ(x.histogram->dropped_count(), 20);
 }
 
 // ---------------------------------------------------------------------------

@@ -440,6 +440,123 @@ TEST_F(BinderTest, ScriptRunnerRejectsOverrideOfUnknownParam) {
 }
 
 // ---------------------------------------------------------------------------
+// MONTECARLO statement (possible-worlds execution from SQL)
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, MonteCarloStatementParses) {
+  auto script = ParseScript(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_NE(script.value().statements[2].montecarlo, nullptr);
+  EXPECT_FALSE(script.value().statements[2].montecarlo->layered);
+
+  auto layered = ParseScript("MONTECARLO USING LAYERED;");
+  ASSERT_TRUE(layered.ok()) << layered.status().ToString();
+  EXPECT_TRUE(layered.value().statements[0].montecarlo->layered);
+
+  auto direct = ParseScript("MONTECARLO USING DIRECT;");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_FALSE(direct.value().statements[0].montecarlo->layered);
+
+  EXPECT_FALSE(ParseScript("MONTECARLO USING GHOST;").ok());
+}
+
+TEST_F(BinderTest, RejectsMultipleMonteCarloStatements) {
+  auto bound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO; MONTECARLO USING LAYERED;",
+      registry_);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("multiple MONTECARLO"),
+            std::string::npos);
+}
+
+constexpr const char* kMonteCarloScript =
+    "DECLARE PARAMETER @w AS RANGE 10 TO 30 STEP BY 10;"
+    "SELECT DemandModel(@w, 52) AS demand,"
+    "       2 * demand AS doubled INTO r;"
+    "MONTECARLO;";
+
+TEST_F(BinderTest, ScriptRunnerExecutesMonteCarlo) {
+  RunConfig cfg;
+  cfg.num_samples = 300;
+  ScriptRunner runner(&registry_, cfg);
+  auto outcome = runner.Run(kMonteCarloScript);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const auto& mc = outcome.value().montecarlo;
+  ASSERT_TRUE(mc.has_value());
+  EXPECT_FALSE(mc->layered);
+  EXPECT_EQ(mc->worlds, 300u);
+  ASSERT_EQ(mc->columns.size(), 2u);
+  const auto& demand = mc->columns.at("demand");
+  EXPECT_EQ(demand.count, 300);
+  // Valuation fixes @w at the first domain value (10).
+  EXPECT_NEAR(demand.mean, 10.0, 0.5);
+  EXPECT_NEAR(mc->columns.at("doubled").mean, 2.0 * demand.mean, 1e-12);
+  EXPECT_NE(outcome.value().Report().find("MONTECARLO"), std::string::npos);
+
+  // Overrides pin the valuation like they do for GRAPH sweeps.
+  auto overridden = runner.Run(kMonteCarloScript, {{"w", 30.0}});
+  ASSERT_TRUE(overridden.ok()) << overridden.status().ToString();
+  EXPECT_NEAR(overridden.value().montecarlo->columns.at("demand").mean,
+              30.0, 1.0);
+}
+
+TEST_F(BinderTest, MonteCarloLayeredAgreesWithDirect) {
+  RunConfig cfg;
+  cfg.num_samples = 200;
+  ScriptRunner runner(&registry_, cfg);
+  auto direct = runner.Run(kMonteCarloScript);
+  auto layered = runner.Run(
+      "DECLARE PARAMETER @w AS RANGE 10 TO 30 STEP BY 10;"
+      "SELECT DemandModel(@w, 52) AS demand,"
+      "       2 * demand AS doubled INTO r;"
+      "MONTECARLO USING LAYERED;");
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_TRUE(layered.ok()) << layered.status().ToString();
+  EXPECT_TRUE(layered.value().montecarlo->layered);
+  // Identical seeds and plans; the layered path only adds the CSV
+  // round-trip, so the means agree to text precision.
+  EXPECT_NEAR(direct.value().montecarlo->columns.at("demand").mean,
+              layered.value().montecarlo->columns.at("demand").mean, 1e-9);
+}
+
+TEST_F(BinderTest, MonteCarloThreadedIsBitIdenticalToSerial) {
+  auto run = [&](std::size_t threads, std::size_t batch) {
+    RunConfig cfg;
+    cfg.num_samples = 200;
+    cfg.num_threads = threads;
+    cfg.batch_size = batch;
+    ScriptRunner runner(&registry_, cfg);
+    auto outcome = runner.Run(kMonteCarloScript);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return std::move(outcome).value();
+  };
+  const auto reference = run(1, 64);
+  for (std::size_t threads : {2u, 8u}) {
+    for (std::size_t batch : {1u, 7u, 64u}) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " batch=" << batch);
+      const auto parallel = run(threads, batch);
+      ASSERT_TRUE(parallel.montecarlo.has_value());
+      EXPECT_EQ(parallel.montecarlo->num_threads, threads);
+      for (const auto& [name, m] : reference.montecarlo->columns) {
+        const auto& p = parallel.montecarlo->columns.at(name);
+        EXPECT_EQ(m.mean, p.mean) << name;
+        EXPECT_EQ(m.stddev, p.stddev) << name;
+        EXPECT_EQ(m.p50, p.p50) << name;
+        EXPECT_EQ(m.p95, p.p95) << name;
+        EXPECT_EQ(m.min, p.min) << name;
+        EXPECT_EQ(m.max, p.max) << name;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Chain scenario execution (Figure 5 on the Markov executor)
 // ---------------------------------------------------------------------------
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/hash.h"
@@ -242,6 +243,66 @@ TEST(HistogramTest, ApproxMeanNearTrueMean) {
   }
   Histogram h = Histogram::FromSamples(xs, 50);
   EXPECT_NEAR(h.ApproxMean(), sum / 1000, 0.2);
+}
+
+TEST(HistogramTest, NonFiniteSamplesAreDroppedAndCounted) {
+  // Regression: floor(NaN)/floor(inf) cast to int is UB; non-finite
+  // observations must be skipped and tallied instead of binned.
+  Histogram h(0.0, 10.0, 10);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  h.Add(5.0);
+  EXPECT_EQ(h.total_count(), 1);
+  EXPECT_EQ(h.dropped_count(), 3);
+  EXPECT_DOUBLE_EQ(h.CdfAt(10.0), 1.0);  // CDF is over the binned mass
+}
+
+TEST(HistogramTest, FromSamplesIgnoresNonFiniteForRange) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Histogram h = Histogram::FromSamples({nan, 1.0, 2.0}, 4);
+  EXPECT_DOUBLE_EQ(h.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 2.0);
+  EXPECT_EQ(h.total_count(), 2);
+  EXPECT_EQ(h.dropped_count(), 1);
+
+  // All-non-finite input must not poison the bin boundaries either.
+  Histogram empty = Histogram::FromSamples({nan, nan}, 4);
+  EXPECT_EQ(empty.total_count(), 0);
+  EXPECT_EQ(empty.dropped_count(), 2);
+  EXPECT_DOUBLE_EQ(empty.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi(), 1.0);
+}
+
+TEST(HistogramTest, AffineTransformZeroAlphaCollapsesToPointMass) {
+  // Regression: alpha == 0 used to keep the old bin layout over a
+  // silently unit-widened [beta, beta] range. The mapped distribution is
+  // the point mass at beta: one bin holds everything.
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  Histogram h = Histogram::FromSamples(xs, 8);
+  Histogram t = h.AffineTransformed(0.0, 5.0);
+  EXPECT_EQ(t.total_count(), 4);
+  int nonzero_bins = 0;
+  int mass_bin = -1;
+  for (int i = 0; i < t.num_bins(); ++i) {
+    if (t.bin_count(i) > 0) {
+      ++nonzero_bins;
+      mass_bin = i;
+    }
+  }
+  ASSERT_EQ(nonzero_bins, 1);
+  EXPECT_EQ(t.bin_count(mass_bin), 4);
+  EXPECT_LE(t.bin_lo(mass_bin), 5.0);
+  EXPECT_GT(t.bin_hi(mass_bin), 5.0);
+  EXPECT_DOUBLE_EQ(t.CdfAt(t.hi()), 1.0);
+  EXPECT_NEAR(t.ApproxMean(), 5.0, t.bin_hi(mass_bin) - t.bin_lo(mass_bin));
+
+  // A non-finite beta maps every sample to a non-finite point: all mass
+  // drops, exactly as if the samples had been Add'ed after the mapping.
+  Histogram inf = h.AffineTransformed(0.0,
+                                      std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inf.total_count(), 0);
+  EXPECT_EQ(inf.dropped_count(), 4);
 }
 
 // ---------------------------------------------------------------------------
