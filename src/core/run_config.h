@@ -52,6 +52,12 @@ struct RunConfig {
   /// bit-identical at every batch size; the knob only trades per-call
   /// overhead against buffer locality. 0 is treated as 1 (pure scalar).
   std::size_t batch_size = 64;
+
+  /// Run SQL-bound expressions through the compiled BatchProgram path
+  /// when the binder produced one. The compiled path is bit-identical to
+  /// the interpreted Expr::Eval walk; false forces the interpreter
+  /// everywhere (the reference twin tests and benches diff against).
+  bool compile_expressions = true;
 };
 
 }  // namespace jigsaw

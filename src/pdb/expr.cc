@@ -43,6 +43,7 @@ class LiteralExpr final : public Expr {
   explicit LiteralExpr(Value v) : v_(std::move(v)) {}
   Result<Value> Eval(EvalContext&) const override { return v_; }
   std::string ToString() const override { return v_.ToString(); }
+  void Accept(ExprVisitor& v) const override { v.VisitLiteral(v_); }
 
  private:
   Value v_;
@@ -61,6 +62,9 @@ class ColumnRefExpr final : public Expr {
     return (*ctx.row)[index_];
   }
   std::string ToString() const override { return name_; }
+  void Accept(ExprVisitor& v) const override {
+    v.VisitColumnRef(index_, name_);
+  }
 
  private:
   std::size_t index_;
@@ -80,6 +84,9 @@ class AliasRefExpr final : public Expr {
     return (*ctx.aliases)[index_];
   }
   std::string ToString() const override { return name_; }
+  void Accept(ExprVisitor& v) const override {
+    v.VisitAliasRef(index_, name_);
+  }
 
  private:
   std::size_t index_;
@@ -99,6 +106,9 @@ class ParamRefExpr final : public Expr {
     return Value(ctx.params[index_]);
   }
   std::string ToString() const override { return "@" + name_; }
+  void Accept(ExprVisitor& v) const override {
+    v.VisitParamRef(index_, name_);
+  }
 
  private:
   std::size_t index_;
@@ -161,6 +171,10 @@ class BinaryExpr final : public Expr {
            right_->ToString() + ")";
   }
 
+  void Accept(ExprVisitor& v) const override {
+    v.VisitBinary(op_, *left_, *right_);
+  }
+
  private:
   BinaryOp op_;
   ExprPtr left_;
@@ -179,6 +193,7 @@ class NotExpr final : public Expr {
   std::string ToString() const override {
     return "NOT " + operand_->ToString();
   }
+  void Accept(ExprVisitor& v) const override { v.VisitNot(*operand_); }
 
  private:
   ExprPtr operand_;
@@ -206,6 +221,10 @@ class CaseExpr final : public Expr {
     }
     if (else_) out += " ELSE " + else_->ToString();
     return out + " END";
+  }
+
+  void Accept(ExprVisitor& v) const override {
+    v.VisitCase(branches_, else_.get());
   }
 
  private:
@@ -249,6 +268,10 @@ class ModelCallExpr final : public Expr {
     parts.reserve(args_.size());
     for (const auto& a : args_) parts.push_back(a->ToString());
     return model_->name() + "(" + Join(parts, ", ") + ")";
+  }
+
+  void Accept(ExprVisitor& v) const override {
+    v.VisitModelCall(model_, args_, call_site_);
   }
 
  private:

@@ -43,6 +43,7 @@ struct EvalContext {
 
 class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
+class ExprVisitor;
 
 enum class BinaryOp {
   kAdd,
@@ -66,6 +67,34 @@ class Expr {
   virtual ~Expr() = default;
   virtual Result<Value> Eval(EvalContext& ctx) const = 0;
   virtual std::string ToString() const = 0;
+
+  /// Structural double-dispatch used by tree consumers that are not
+  /// evaluators (the batch compiler, printers, analyzers). Each concrete
+  /// node calls exactly one ExprVisitor method with its fields.
+  virtual void Accept(ExprVisitor& visitor) const = 0;
+};
+
+/// One Visit method per concrete node shape. Child expressions are handed
+/// back as Expr references (or ExprPtr spans) so visitors can recurse
+/// without knowing the private node classes in expr.cc.
+class ExprVisitor {
+ public:
+  virtual ~ExprVisitor() = default;
+
+  virtual void VisitLiteral(const Value& value) = 0;
+  virtual void VisitColumnRef(std::size_t index, const std::string& name) = 0;
+  virtual void VisitAliasRef(std::size_t index, const std::string& name) = 0;
+  virtual void VisitParamRef(std::size_t index, const std::string& name) = 0;
+  virtual void VisitBinary(BinaryOp op, const Expr& left,
+                           const Expr& right) = 0;
+  virtual void VisitNot(const Expr& operand) = 0;
+  /// `else_expr` is null when the CASE has no ELSE branch.
+  virtual void VisitCase(
+      const std::vector<std::pair<ExprPtr, ExprPtr>>& branches,
+      const Expr* else_expr) = 0;
+  virtual void VisitModelCall(const BlackBoxPtr& model,
+                              const std::vector<ExprPtr>& args,
+                              std::uint64_t call_site) = 0;
 };
 
 /// Constructors.

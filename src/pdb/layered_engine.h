@@ -16,6 +16,14 @@
 /// are materialized once per world in a WorldCache and re-scanned
 /// set-at-a-time, which is why this engine *wins* on the data-bound
 /// UserSelection workload exactly as SQL Server beat the Ruby engine.
+///
+/// Compiled expressions (pdb/batch_program.h) slot in at the leaf level:
+/// a plan factory may hand the engine BatchProgramScan nodes, mirroring
+/// how the original DBMS baseline still ran compiled scans inside its
+/// interpreted executor. The per-world re-planning and the row
+/// serialization boundary — the overheads this engine exists to model —
+/// apply to compiled plans unchanged, and results stay bit-identical to
+/// fully interpreted plans.
 
 #include <functional>
 #include <map>

@@ -53,16 +53,74 @@ Status FoldRow(const Table& t, std::size_t world, const WorldLayout& layout,
   return Status::OK();
 }
 
+/// Chunk scaffold shared by FoldWorlds and FoldWorldSpans: partitions
+/// [0, num_worlds) into batch_size chunks, fills each chunk's per-column
+/// staging buffers via `fill_chunk` (fanned out on `pool` when present),
+/// scans chunk statuses in index order — a fill stops at (and reports)
+/// its lowest failing world, and every earlier world lives in an
+/// earlier-or-equal chunk, so the surfaced error matches the serial
+/// world-at-a-time run regardless of schedule — then merges the buffers
+/// through Estimator::AddSpan in chunk order, which is bit-identical to
+/// a world-at-a-time fold for any chunk partition.
+Result<std::map<std::string, OutputMetrics>> FoldChunkedStages(
+    std::size_t num_worlds, std::span<const std::string> column_names,
+    const RunConfig& config, ThreadPool* pool,
+    const std::function<Status(std::size_t chunk, std::size_t begin,
+                               std::size_t end,
+                               std::vector<std::vector<double>>& buffers)>&
+        fill_chunk) {
+  std::map<std::string, OutputMetrics> out;
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
+  const std::size_t num_chunks = (num_worlds + batch - 1) / batch;
+  const std::size_t width = column_names.size();
+
+  // stage[chunk][slot] holds chunk `chunk`'s samples of output column
+  // `slot` in world order.
+  std::vector<std::vector<std::vector<double>>> stage(
+      num_chunks, std::vector<std::vector<double>>(width));
+  std::vector<Status> chunk_status(num_chunks, Status::OK());
+
+  auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * batch;
+    const std::size_t end = std::min(begin + batch, num_worlds);
+    chunk_status[chunk] = fill_chunk(chunk, begin, end, stage[chunk]);
+  };
+
+  if (pool != nullptr && num_chunks >= 2) {
+    pool->ParallelFor(num_chunks, run_chunk);
+  } else {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      run_chunk(c);
+      if (!chunk_status[c].ok()) break;
+    }
+  }
+
+  for (Status& s : chunk_status) {
+    JIGSAW_RETURN_IF_ERROR(std::move(s));
+  }
+
+  std::vector<Estimator> estimators(
+      width, Estimator(config.keep_samples, config.histogram_bins));
+  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    for (std::size_t slot = 0; slot < width; ++slot) {
+      estimators[slot].AddSpan(stage[chunk][slot]);
+    }
+    // Release each chunk as it folds: the estimators accumulate their own
+    // copy, so keeping the staging around would double peak memory.
+    stage[chunk] = {};
+  }
+  for (std::size_t slot = 0; slot < width; ++slot) {
+    out.emplace(column_names[slot], estimators[slot].Finalize());
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<std::map<std::string, OutputMetrics>> FoldWorlds(
     std::size_t num_worlds, const RunConfig& config, ThreadPool* pool,
     const WorldFn& run_world) {
-  std::map<std::string, OutputMetrics> out;
-  if (num_worlds == 0) return out;
-
-  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
-  const std::size_t num_chunks = (num_worlds + batch - 1) / batch;
+  if (num_worlds == 0) return std::map<std::string, OutputMetrics>{};
 
   // World 0 runs up front to lock the column layout; every later world is
   // validated against it, so a type that flips across worlds fails loudly
@@ -79,66 +137,44 @@ Result<std::map<std::string, OutputMetrics>> FoldWorlds(
       if (numeric) layout.names.push_back(first.schema().column(c).name);
     }
   }
-  const std::size_t width = layout.names.size();
 
-  // stage[chunk][slot] holds chunk `chunk`'s samples of numeric column
-  // `slot` in world order; chunk 0 is pre-seeded with world 0's row so
-  // the chunk partition covers [0, num_worlds) exactly.
-  std::vector<std::vector<std::vector<double>>> stage(
-      num_chunks, std::vector<std::vector<double>>(width));
-  std::vector<Status> chunk_status(num_chunks, Status::OK());
-  JIGSAW_RETURN_IF_ERROR(FoldRow(first, 0, layout, stage[0]));
-
-  auto run_chunk = [&](std::size_t chunk) {
-    const std::size_t begin = chunk * batch;
-    const std::size_t end = std::min(begin + batch, num_worlds);
-    auto& buffers = stage[chunk];
+  // Chunk 0 starts from world 0's already-materialized row so the chunk
+  // partition covers [0, num_worlds) exactly.
+  auto fill_chunk = [&](std::size_t chunk, std::size_t begin,
+                        std::size_t end,
+                        std::vector<std::vector<double>>& buffers) {
     for (auto& b : buffers) b.reserve(end - begin);
+    if (chunk == 0) JIGSAW_RETURN_IF_ERROR(FoldRow(first, 0, layout, buffers));
     for (std::size_t world = std::max<std::size_t>(begin, 1); world < end;
          ++world) {
       auto t = run_world(world);
-      Status s = t.ok() ? FoldRow(t.value(), world, layout, buffers)
-                        : t.status();
-      if (!s.ok()) {
-        chunk_status[chunk] = std::move(s);
-        return;
-      }
+      JIGSAW_RETURN_IF_ERROR(t.ok()
+                                 ? FoldRow(t.value(), world, layout, buffers)
+                                 : t.status());
     }
+    return Status::OK();
   };
+  return FoldChunkedStages(num_worlds, layout.names, config, pool,
+                           fill_chunk);
+}
 
-  if (pool != nullptr && num_chunks >= 2) {
-    pool->ParallelFor(num_chunks, run_chunk);
-  } else {
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      run_chunk(c);
-      if (!chunk_status[c].ok()) break;
+Result<std::map<std::string, OutputMetrics>> FoldWorldSpans(
+    std::span<const std::string> column_names, std::size_t num_worlds,
+    const RunConfig& config, ThreadPool* pool, const WorldSpanFn& run_span) {
+  if (num_worlds == 0) return std::map<std::string, OutputMetrics>{};
+  auto fill_chunk = [&](std::size_t /*chunk*/, std::size_t begin,
+                        std::size_t end,
+                        std::vector<std::vector<double>>& buffers) {
+    const std::size_t count = end - begin;
+    std::vector<double*> columns(buffers.size());
+    for (std::size_t slot = 0; slot < buffers.size(); ++slot) {
+      buffers[slot].resize(count);
+      columns[slot] = buffers[slot].data();
     }
-  }
-
-  // The first failing chunk carries the lowest failing world: chunks scan
-  // their worlds in order and stop at the first error, and every world
-  // before that one lives in an earlier-or-equal chunk — so the reported
-  // error matches the serial run's regardless of schedule.
-  for (Status& s : chunk_status) {
-    JIGSAW_RETURN_IF_ERROR(std::move(s));
-  }
-
-  // Merge in chunk index order: AddSpan folds element-wise in order, so
-  // any chunk partition yields the same bits as a world-at-a-time fold.
-  std::vector<Estimator> estimators(
-      width, Estimator(config.keep_samples, config.histogram_bins));
-  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
-    for (std::size_t slot = 0; slot < width; ++slot) {
-      estimators[slot].AddSpan(stage[chunk][slot]);
-    }
-    // Release each chunk as it folds: the estimators accumulate their own
-    // copy, so keeping the staging around would double peak memory.
-    stage[chunk] = {};
-  }
-  for (std::size_t slot = 0; slot < width; ++slot) {
-    out.emplace(layout.names[slot], estimators[slot].Finalize());
-  }
-  return out;
+    return run_span(begin, count, columns);
+  };
+  return FoldChunkedStages(num_worlds, column_names, config, pool,
+                           fill_chunk);
 }
 
 Result<MonteCarloResult> MonteCarloExecutor::Run(
@@ -155,6 +191,16 @@ Result<MonteCarloResult> MonteCarloExecutor::Run(
   JIGSAW_ASSIGN_OR_RETURN(
       result.columns,
       FoldWorlds(config_.num_samples, config_, pool_.get(), run_world));
+  result.worlds = config_.num_samples;
+  return result;
+}
+
+Result<MonteCarloResult> MonteCarloExecutor::RunSpans(
+    std::span<const std::string> column_names, const WorldSpanFn& run_span) {
+  MonteCarloResult result;
+  JIGSAW_ASSIGN_OR_RETURN(
+      result.columns, FoldWorldSpans(column_names, config_.num_samples,
+                                     config_, pool_.get(), run_span));
   result.worlds = config_.num_samples;
   return result;
 }

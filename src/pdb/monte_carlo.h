@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/metrics.h"
@@ -53,6 +54,25 @@ Result<std::map<std::string, OutputMetrics>> FoldWorlds(
     std::size_t num_worlds, const RunConfig& config, ThreadPool* pool,
     const WorldFn& run_world);
 
+/// Batched world evaluator: fills `columns[slot][i]` with the value of
+/// output column `slot` in world `world_begin + i`, for i in [0, count).
+/// Used by compiled row programs, which evaluate a whole world chunk in
+/// one BatchProgram run instead of one boxed plan per world. On error the
+/// returned status must be the one the lowest failing world in the span
+/// would have produced serially (BatchProgram::RunAll guarantees this).
+using WorldSpanFn = std::function<Status(
+    std::size_t world_begin, std::size_t count, std::span<double* const>
+    columns)>;
+
+/// Span twin of FoldWorlds for statically-known all-numeric layouts:
+/// partitions [0, num_worlds) into the same batch_size chunks, evaluates
+/// each chunk with one run_span call (fanned out on `pool` when present),
+/// and merges the per-chunk buffers in chunk index order through
+/// Estimator::AddSpan — bit-identical to FoldWorlds over the same values.
+Result<std::map<std::string, OutputMetrics>> FoldWorldSpans(
+    std::span<const std::string> column_names, std::size_t num_worlds,
+    const RunConfig& config, ThreadPool* pool, const WorldSpanFn& run_span);
+
 struct MonteCarloResult {
   /// Per-output-column distribution summaries, keyed by column name.
   /// Only columns that are numeric in world 0 appear.
@@ -80,6 +100,13 @@ class MonteCarloExecutor {
 
   Result<MonteCarloResult> Run(const PlanFactory& make_plan,
                                std::span<const double> params);
+
+  /// Compiled-path twin of Run: worlds evaluate as whole spans (one
+  /// BatchProgram execution per chunk task) instead of one plan per
+  /// world. `column_names` fixes the output layout up front — span
+  /// programs are all-numeric by construction.
+  Result<MonteCarloResult> RunSpans(std::span<const std::string> column_names,
+                                    const WorldSpanFn& run_span);
 
   const SeedVector& seeds() const { return seeds_; }
   const RunConfig& config() const { return config_; }

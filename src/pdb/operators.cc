@@ -75,6 +75,43 @@ class DualScanNode final : public PlanNode {
   bool emitted_ = false;
 };
 
+class SingleRowScanNode final : public PlanNode {
+ public:
+  SingleRowScanNode(Schema schema, SingleRowFn fill)
+      : schema_(std::move(schema)), fill_(std::move(fill)) {}
+
+  const Schema& schema() const override { return schema_; }
+
+  Status Open(EvalContext& ctx) override {
+    if (ctx.seeds == nullptr) {
+      return Status::ExecutionError(
+          "row program evaluated without a seed vector");
+    }
+    values_.clear();
+    JIGSAW_RETURN_IF_ERROR(fill_(ctx, &values_));
+    done_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (done_) return false;
+    done_ = true;
+    Row row;
+    row.reserve(values_.size());
+    for (double v : values_) row.emplace_back(v);
+    *out = std::move(row);
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  Schema schema_;
+  SingleRowFn fill_;
+  std::vector<double> values_;
+  bool done_ = true;
+};
+
 class FilterNode final : public PlanNode {
  public:
   FilterNode(PlanNodePtr input, ExprPtr predicate)
@@ -496,6 +533,36 @@ PlanNodePtr MakeOwnedTableScan(Table table) {
   return std::make_unique<TableScanNode>(std::move(table), true);
 }
 PlanNodePtr MakeDualScan() { return std::make_unique<DualScanNode>(); }
+
+PlanNodePtr MakeSingleRowScan(Schema schema, SingleRowFn fill) {
+  return std::make_unique<SingleRowScanNode>(std::move(schema),
+                                             std::move(fill));
+}
+
+PlanNodePtr MakeBatchProgramScan(BatchProgramPtr program) {
+  std::vector<Column> cols;
+  cols.reserve(program->num_columns());
+  for (std::size_t j = 0; j < program->num_columns(); ++j) {
+    cols.push_back({program->column_name(j), ValueType::kDouble});
+  }
+  auto fill = [program = std::move(program)](
+                  EvalContext& ctx, std::vector<double>* out) -> Status {
+    BatchProgram::Context bctx;
+    bctx.params = ctx.params;
+    bctx.sample_begin = ctx.sample_id;
+    bctx.seeds = ctx.seeds;
+    bctx.stream_salt = ctx.stream_salt;
+    out->resize(program->num_columns());
+    std::vector<double*> columns(program->num_columns());
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      columns[j] = &(*out)[j];
+    }
+    thread_local BatchScratch scratch;
+    return program->RunAll(bctx, 1, columns, scratch);
+  };
+  return std::make_unique<SingleRowScanNode>(Schema(std::move(cols)),
+                                             std::move(fill));
+}
 PlanNodePtr MakeFilter(PlanNodePtr input, ExprPtr predicate) {
   return std::make_unique<FilterNode>(std::move(input), std::move(predicate));
 }

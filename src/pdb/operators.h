@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pdb/batch_program.h"
 #include "pdb/expr.h"
 #include "pdb/table.h"
 #include "util/status.h"
@@ -47,6 +48,23 @@ PlanNodePtr MakeOwnedTableScan(Table table);
 
 /// One-row, zero-column relation (SELECT without FROM — "DUAL").
 PlanNodePtr MakeDualScan();
+
+/// Computes the doubles of a one-row scan at Open time under the world's
+/// EvalContext (the node guarantees a seed vector is present).
+using SingleRowFn = std::function<Status(EvalContext&, std::vector<double>*)>;
+
+/// One-row all-double leaf over a row program: `fill` evaluates the row
+/// at Open; a context without a seed vector is an ExecutionError (row
+/// programs are stochastic). Shared by the interpreted and compiled scan
+/// variants so their contract cannot drift.
+PlanNodePtr MakeSingleRowScan(Schema schema, SingleRowFn fill);
+
+/// One-row leaf producing the output columns of a compiled BatchProgram
+/// for the context's (params, sample_id, stream_salt) — batch width 1.
+/// This is how compiled row programs ride inside Volcano plans (the
+/// possible-worlds executors hand one plan per world); bit-identical to
+/// projecting the interpreted expressions.
+PlanNodePtr MakeBatchProgramScan(BatchProgramPtr program);
 
 /// sigma(predicate).
 PlanNodePtr MakeFilter(PlanNodePtr input, ExprPtr predicate);

@@ -191,6 +191,23 @@ class ColumnSimFunction final : public SimFunction {
     return v.value();
   }
 
+  /// The core engine's fingerprint/tail/sweep phases drive this: one
+  /// compiled BatchProgram run per span instead of out.size() virtual
+  /// tree walks (falls back to the inherited scalar loop when the
+  /// program did not compile).
+  void SampleBatch(std::span<const double> params, std::size_t sample_begin,
+                   const SeedVector& seeds,
+                   std::span<double> out) const override {
+    if (!program_->compiled()) {
+      SimFunction::SampleBatch(params, sample_begin, seeds, out);
+      return;
+    }
+    Status s = program_->EvalColumnSpan(column_, params, sample_begin,
+                                        seeds, /*stream_salt=*/0, {}, out);
+    JIGSAW_CHECK_MSG(s.ok(),
+                     "column '" << label_ << "': " << s.ToString());
+  }
+
  private:
   std::shared_ptr<const RowProgram> program_;
   std::size_t column_;
@@ -276,6 +293,82 @@ Result<std::vector<double>> RowProgram::EvalAllColumns(
     out.push_back(aliases[i].AsDouble());
   }
   return out;
+}
+
+Status RowProgram::EvalColumnSpan(
+    std::size_t j, std::span<const double> params, std::size_t sample_begin,
+    const SeedVector& seeds, std::uint64_t stream_salt,
+    std::span<const pdb::BatchProgram::LaneParam> lane_params,
+    std::span<double> out) const {
+  if (compiled()) {
+    pdb::BatchProgram::Context ctx;
+    ctx.params = params;
+    ctx.lane_params = lane_params;
+    ctx.sample_begin = sample_begin;
+    ctx.seeds = &seeds;
+    ctx.stream_salt = stream_salt;
+    thread_local pdb::BatchScratch scratch;
+    return batch->RunColumn(j, ctx, out.size(), out, scratch);
+  }
+  // Interpreter fallback: scalar tree walks, lane params substituted into
+  // a per-lane valuation copy — identical to what the compiled path
+  // computes, one sample at a time.
+  std::vector<double> lane_valuation(params.begin(), params.end());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::span<const double> valuation = params;
+    if (!lane_params.empty()) {
+      std::copy(params.begin(), params.end(), lane_valuation.begin());
+      for (const auto& lp : lane_params) {
+        lane_valuation[lp.param_index] = lp.values[i];
+      }
+      valuation = lane_valuation;
+    }
+    auto v = EvalColumn(j, valuation, sample_begin + i, seeds, stream_salt);
+    JIGSAW_RETURN_IF_ERROR(v.status());
+    out[i] = v.value();
+  }
+  return Status::OK();
+}
+
+Status RowProgram::EvalAllColumnsSpan(std::span<const double> params,
+                                      std::size_t sample_begin,
+                                      std::size_t count,
+                                      const SeedVector& seeds,
+                                      std::uint64_t stream_salt,
+                                      std::span<double* const> out) const {
+  if (compiled()) {
+    pdb::BatchProgram::Context ctx;
+    ctx.params = params;
+    ctx.sample_begin = sample_begin;
+    ctx.seeds = &seeds;
+    ctx.stream_salt = stream_salt;
+    thread_local pdb::BatchScratch scratch;
+    return batch->RunAll(ctx, count, out, scratch);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    auto row = EvalAllColumns(params, sample_begin + i, seeds, stream_salt);
+    JIGSAW_RETURN_IF_ERROR(row.status());
+    for (std::size_t c = 0; c < out.size(); ++c) out[c][i] = row.value()[c];
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const RowProgram> WithoutBatchProgram(
+    const RowProgram& program) {
+  auto stripped = std::make_shared<RowProgram>(program);
+  stripped->batch = nullptr;
+  stripped->batch_fallback_reason = "compiled expressions disabled";
+  return stripped;
+}
+
+void UseInterpretedExpressions(BoundScript& bound) {
+  if (bound.program == nullptr) return;
+  auto stripped = WithoutBatchProgram(*bound.program);
+  bound.program = stripped;
+  for (std::size_t j = 0; j < bound.scenario.columns.size(); ++j) {
+    auto& col = bound.scenario.columns[j];
+    col.fn = std::make_shared<ColumnSimFunction>(stripped, j, col.name);
+  }
 }
 
 Result<BoundScript> Binder::Bind(const Script& script) {
@@ -376,6 +469,20 @@ Result<BoundScript> Binder::Bind(const Script& script) {
     if (!probe.ok()) {
       return Status::BindError("scenario probe evaluation failed: " +
                                probe.status().message());
+    }
+  }
+
+  // Lower the row program into its vectorized batch form. Failure is not
+  // an error — the expression simply has no bit-identical batch
+  // representation — but the reason is kept so the de-optimization is
+  // visible (ScriptOutcome::Report surfaces it).
+  {
+    auto compiled = pdb::CompileBatchProgram(
+        program->inner_exprs, program->outer_exprs, program->outer_names);
+    if (compiled.ok()) {
+      program->batch = std::move(compiled).value();
+    } else {
+      program->batch_fallback_reason = compiled.status().message();
     }
   }
 

@@ -16,6 +16,7 @@
 #include "core/optimizer.h"
 #include "core/scenario.h"
 #include "models/black_box.h"
+#include "pdb/batch_program.h"
 #include "pdb/expr.h"
 #include "sql/ast.h"
 #include "util/status.h"
@@ -40,6 +41,14 @@ struct RowProgram {
   std::vector<pdb::ExprPtr> outer_exprs;
   std::vector<std::string> outer_names;
 
+  /// Compiled batch form, produced at bind time. Null when the compiler
+  /// bailed — batch_fallback_reason then says why, and every consumer
+  /// falls back to the interpreter transparently.
+  pdb::BatchProgramPtr batch;
+  std::string batch_fallback_reason;
+
+  bool compiled() const { return batch != nullptr; }
+
   /// Evaluates outer column `j` for one (params, sample) pair; the salt
   /// lets the Markov executor vary randomness per chain step.
   Result<double> EvalColumn(std::size_t j, std::span<const double> params,
@@ -51,7 +60,33 @@ struct RowProgram {
   Result<std::vector<double>> EvalAllColumns(
       std::span<const double> params, std::size_t sample_id,
       const SeedVector& seeds, std::uint64_t stream_salt = 0) const;
+
+  /// Evaluates outer column `j` for samples [sample_begin, sample_begin +
+  /// out.size()) into `out` — compiled BatchProgram when available, else
+  /// a scalar EvalColumn loop. `lane_params` overrides parameters with
+  /// per-lane values (the chain executor's per-instance state). Entry i
+  /// is bit-identical to EvalColumn at sample_begin + i, and the error
+  /// (if any) is the one the lowest failing sample would report.
+  Status EvalColumnSpan(
+      std::size_t j, std::span<const double> params,
+      std::size_t sample_begin, const SeedVector& seeds,
+      std::uint64_t stream_salt,
+      std::span<const pdb::BatchProgram::LaneParam> lane_params,
+      std::span<double> out) const;
+
+  /// Span twin of EvalAllColumns: fills out[c][i] with column c of sample
+  /// sample_begin + i, for i in [0, count).
+  Status EvalAllColumnsSpan(std::span<const double> params,
+                            std::size_t sample_begin, std::size_t count,
+                            const SeedVector& seeds,
+                            std::uint64_t stream_salt,
+                            std::span<double* const> out) const;
 };
+
+/// Copy of `program` with the compiled form stripped (interpreter-only);
+/// the reference twin benches and parity tests diff against.
+std::shared_ptr<const RowProgram> WithoutBatchProgram(
+    const RowProgram& program);
 
 /// MONTECARLO statement: run the scenario's row program through the
 /// possible-worlds executor at a single valuation — the direct
@@ -68,6 +103,12 @@ struct BoundScript {
   std::optional<BoundChain> chain;
   std::optional<MonteCarloSpec> montecarlo;
 };
+
+/// Rewrites `bound` to execute interpreted-only: strips the compiled
+/// program and rebuilds the scenario's column SimFunctions on the
+/// stripped copy. Applied by ScriptRunner when
+/// RunConfig::compile_expressions is false.
+void UseInterpretedExpressions(BoundScript& bound);
 
 class Binder {
  public:

@@ -58,6 +58,60 @@ double ScenarioChainProcess::OutputForInstance(double state,
                     MarkovOutputSalt(step));
 }
 
+void ScenarioChainProcess::EvalColumnBatch(
+    std::size_t column, std::span<const double> chain_states,
+    std::int64_t step, std::size_t k_begin, const SeedVector& seeds,
+    std::uint64_t salt, std::span<double> out) const {
+  std::vector<double> params = base_valuation_;
+  params[chain_.driver_param_index] = static_cast<double>(step);
+  const pdb::BatchProgram::LaneParam lane_param{chain_.chain_param_index,
+                                                chain_states};
+  Status s = program_->EvalColumnSpan(
+      column, params, k_begin, seeds, salt,
+      std::span<const pdb::BatchProgram::LaneParam>(&lane_param, 1), out);
+  JIGSAW_CHECK_MSG(s.ok(),
+                   "chain scenario evaluation failed: " << s.ToString());
+}
+
+void ScenarioChainProcess::StepBatch(std::span<const double> prev_states,
+                                     std::int64_t step, std::size_t k_begin,
+                                     const SeedVector& seeds,
+                                     std::span<double> out) const {
+  if (!program_->compiled()) {
+    MarkovProcess::StepBatch(prev_states, step, k_begin, seeds, out);
+    return;
+  }
+  EvalColumnBatch(chain_.source_column_index, prev_states, step, k_begin,
+                  seeds, MarkovStepSalt(step), out);
+}
+
+void ScenarioChainProcess::EstimateBatch(
+    std::span<const double> anchor_states, std::int64_t anchor_step,
+    std::int64_t step, std::size_t k_begin, const SeedVector& seeds,
+    std::span<double> out) const {
+  if (!program_->compiled()) {
+    MarkovProcess::EstimateBatch(anchor_states, anchor_step, step, k_begin,
+                                 seeds, out);
+    return;
+  }
+  // Same per-step stream as honest stepping (Section 4.2), like the
+  // scalar EstimateForInstance.
+  EvalColumnBatch(chain_.source_column_index, anchor_states, step, k_begin,
+                  seeds, MarkovStepSalt(step), out);
+}
+
+void ScenarioChainProcess::OutputBatch(std::span<const double> states,
+                                       std::int64_t step, std::size_t k_begin,
+                                       const SeedVector& seeds,
+                                       std::span<double> out) const {
+  if (!program_->compiled()) {
+    MarkovProcess::OutputBatch(states, step, k_begin, seeds, out);
+    return;
+  }
+  EvalColumnBatch(output_column_, states, step, k_begin, seeds,
+                  MarkovOutputSalt(step), out);
+}
+
 Result<OutputMetrics> RunChainScenario(const BoundScript& bound,
                                        const std::string& output_column,
                                        std::int64_t target,
@@ -82,7 +136,11 @@ Result<OutputMetrics> RunChainScenario(const BoundScript& bound,
   const auto base = bound.scenario.params.NumPoints() > 0
                         ? bound.scenario.params.ValuationAt(0)
                         : std::vector<double>{};
-  ScenarioChainProcess process(bound.program, *bound.chain, base, out_idx);
+  auto program = bound.program;
+  if (!config.compile_expressions && program->compiled()) {
+    program = WithoutBatchProgram(*program);
+  }
+  ScenarioChainProcess process(program, *bound.chain, base, out_idx);
 
   ChainResult result;
   if (use_jump) {

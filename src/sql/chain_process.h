@@ -45,10 +45,35 @@ class ScenarioChainProcess final : public MarkovProcess {
   double OutputForInstance(double state, std::int64_t step, std::size_t k,
                            const SeedVector& seeds) const override;
 
+  // Batch hooks: one compiled BatchProgram run per instance span, with
+  // the chain parameter fed per lane — bit-identical to the scalar
+  // *ForInstance hooks (which stay on the interpreter). When the row
+  // program did not compile these fall back to the default scalar loops.
+
+  void StepBatch(std::span<const double> prev_states, std::int64_t step,
+                 std::size_t k_begin, const SeedVector& seeds,
+                 std::span<double> out) const override;
+
+  void EstimateBatch(std::span<const double> anchor_states,
+                     std::int64_t anchor_step, std::int64_t step,
+                     std::size_t k_begin, const SeedVector& seeds,
+                     std::span<double> out) const override;
+
+  void OutputBatch(std::span<const double> states, std::int64_t step,
+                   std::size_t k_begin, const SeedVector& seeds,
+                   std::span<double> out) const override;
+
  private:
   double EvalColumn(std::size_t column, double chain_value,
                     std::int64_t step, std::size_t k,
                     const SeedVector& seeds, std::uint64_t salt) const;
+
+  /// Compiled span evaluation of `column` with per-lane chain states.
+  void EvalColumnBatch(std::size_t column,
+                       std::span<const double> chain_states,
+                       std::int64_t step, std::size_t k_begin,
+                       const SeedVector& seeds, std::uint64_t salt,
+                       std::span<double> out) const;
 
   std::shared_ptr<const RowProgram> program_;
   BoundChain chain_;

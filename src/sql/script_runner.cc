@@ -11,57 +11,29 @@ namespace jigsaw::sql {
 
 namespace {
 
-/// One-row plan over the scenario's compiled projection: evaluates every
-/// outer column of the RowProgram for the context's (params, world) pair.
-/// This is the SQL-bound Monte Carlo path — the factory hands a fresh
-/// node per world, and the node carries no shared mutable state, so it is
-/// safe under the executor's world fan-out.
-class RowProgramScanNode final : public pdb::PlanNode {
- public:
-  explicit RowProgramScanNode(std::shared_ptr<const RowProgram> program)
-      : program_(std::move(program)), schema_(MakeSchema(*program_)) {}
-
-  const pdb::Schema& schema() const override { return schema_; }
-
-  Status Open(pdb::EvalContext& ctx) override {
-    if (ctx.seeds == nullptr) {
-      return Status::ExecutionError(
-          "row program evaluated without a seed vector");
-    }
+/// One-row plan over the scenario's interpreted projection: evaluates
+/// every outer column of the RowProgram for the context's (params,
+/// world) pair. This is the SQL-bound Monte Carlo fallback when the row
+/// program has no compiled form — the factory hands a fresh node per
+/// world, and the node carries no shared mutable state, so it is safe
+/// under the executor's world fan-out.
+pdb::PlanNodePtr MakeInterpretedRowScan(
+    std::shared_ptr<const RowProgram> program) {
+  std::vector<pdb::Column> cols;
+  cols.reserve(program->outer_names.size());
+  for (const auto& name : program->outer_names) {
+    cols.push_back({name, pdb::ValueType::kDouble});
+  }
+  auto fill = [program = std::move(program)](
+                  pdb::EvalContext& ctx, std::vector<double>* out) -> Status {
     JIGSAW_ASSIGN_OR_RETURN(
-        values_, program_->EvalAllColumns(ctx.params, ctx.sample_id,
-                                          *ctx.seeds, ctx.stream_salt));
-    done_ = false;
+        *out, program->EvalAllColumns(ctx.params, ctx.sample_id, *ctx.seeds,
+                                      ctx.stream_salt));
     return Status::OK();
-  }
-
-  Result<bool> Next(pdb::Row* out) override {
-    if (done_) return false;
-    done_ = true;
-    pdb::Row row;
-    row.reserve(values_.size());
-    for (double v : values_) row.emplace_back(v);
-    *out = std::move(row);
-    return true;
-  }
-
-  void Close() override {}
-
- private:
-  static pdb::Schema MakeSchema(const RowProgram& program) {
-    std::vector<pdb::Column> cols;
-    cols.reserve(program.outer_names.size());
-    for (const auto& name : program.outer_names) {
-      cols.push_back({name, pdb::ValueType::kDouble});
-    }
-    return pdb::Schema(std::move(cols));
-  }
-
-  std::shared_ptr<const RowProgram> program_;
-  pdb::Schema schema_;
-  std::vector<double> values_;
-  bool done_ = true;
-};
+  };
+  return pdb::MakeSingleRowScan(pdb::Schema(std::move(cols)),
+                                std::move(fill));
+}
 
 /// Fixes every parameter: overrides first, then the first value of its
 /// domain (the same convention the GRAPH sweep uses for non-x params).
@@ -88,6 +60,19 @@ Result<std::vector<double>> BaseValuation(
 
 std::string ScriptOutcome::Report() const {
   std::string out;
+  if (bound.program != nullptr) {
+    // Surface the expression-execution mode: silent de-optimization to
+    // the interpreter would otherwise be invisible.
+    if (bound.program->compiled()) {
+      out += "expressions: compiled (vectorized batch programs)\n";
+    } else {
+      out += "expressions: interpreted";
+      if (!bound.program->batch_fallback_reason.empty()) {
+        out += " (fallback: " + bound.program->batch_fallback_reason + ")";
+      }
+      out += "\n";
+    }
+  }
   if (optimize) {
     out += optimize->ToString() + "\n";
   }
@@ -127,6 +112,7 @@ Result<ScriptOutcome> ScriptRunner::Run(
     const std::string& text,
     const std::vector<std::pair<std::string, double>>& overrides) {
   JIGSAW_ASSIGN_OR_RETURN(BoundScript bound, ParseAndBind(text, *registry_));
+  if (!config_.compile_expressions) UseInterpretedExpressions(bound);
 
   ScriptOutcome outcome;
   SimulationRunner runner(config_);
@@ -186,12 +172,17 @@ Result<ScriptOutcome> ScriptRunner::Run(
     JIGSAW_ASSIGN_OR_RETURN(
         std::vector<double> valuation,
         BaseValuation(bound.scenario.params, overrides));
-    // Each world gets its own scan node; the shared RowProgram is
-    // immutable, so the factory is thread-safe under the executor's
-    // world fan-out (RunConfig::num_threads).
+    // Each world gets its own scan node; the shared RowProgram (and its
+    // compiled BatchProgram) is immutable, so the factory is thread-safe
+    // under the executor's world fan-out (RunConfig::num_threads). A
+    // compiled program rides inside the plan as a BatchProgramScan leaf;
+    // otherwise the interpreted scan node walks the Expr trees.
     std::shared_ptr<const RowProgram> program = bound.program;
     auto factory = [program]() -> Result<pdb::PlanNodePtr> {
-      return pdb::PlanNodePtr(std::make_unique<RowProgramScanNode>(program));
+      if (program->compiled()) {
+        return pdb::MakeBatchProgramScan(program->batch);
+      }
+      return MakeInterpretedRowScan(program);
     };
 
     MonteCarloOutcome mc;
@@ -203,6 +194,20 @@ Result<ScriptOutcome> ScriptRunner::Run(
       JIGSAW_ASSIGN_OR_RETURN(pdb::LayeredPointResult point,
                               engine.RunPoint(factory, valuation));
       mc.columns = std::move(point.columns);
+    } else if (program->compiled()) {
+      // Compiled fast path: whole world chunks evaluate inside
+      // FoldWorldSpans with one BatchProgram execution per task.
+      pdb::MonteCarloExecutor executor(config_);
+      const SeedVector& seeds = executor.seeds();
+      auto run_span = [&](std::size_t begin, std::size_t count,
+                          std::span<double* const> columns) {
+        return program->EvalAllColumnsSpan(valuation, begin, count, seeds,
+                                           /*stream_salt=*/0, columns);
+      };
+      JIGSAW_ASSIGN_OR_RETURN(
+          pdb::MonteCarloResult result,
+          executor.RunSpans(program->outer_names, run_span));
+      mc.columns = std::move(result.columns);
     } else {
       pdb::MonteCarloExecutor executor(config_);
       JIGSAW_ASSIGN_OR_RETURN(pdb::MonteCarloResult result,

@@ -11,7 +11,10 @@
 #include <memory>
 #include <string>
 
+#include <span>
+
 #include "models/cloud_models.h"
+#include "pdb/batch_program.h"
 #include "pdb/expr.h"
 #include "pdb/layered_engine.h"
 #include "pdb/monte_carlo.h"
@@ -248,6 +251,373 @@ TEST(ExprTest, ModelCallWithoutSeedsIsError) {
   auto call = MakeModelCall(
       model, {MakeLiteral(Value(1.0)), MakeLiteral(Value(2.0))}, 1);
   EXPECT_EQ(call->Eval(ctx).status().code(), StatusCode::kExecutionError);
+}
+
+// ---------------------------------------------------------------------------
+// BatchProgram: compiled expressions must be bit-identical to Expr::Eval
+// ---------------------------------------------------------------------------
+
+/// Scalar reference: RowProgram::EvalColumn semantics over raw Expr
+/// lists (inner row first, then outer aliases 0..j, numeric check on j).
+Result<double> RefEvalColumn(const std::vector<ExprPtr>& inner,
+                             const std::vector<ExprPtr>& outer,
+                             const std::vector<std::string>& names,
+                             std::size_t j, std::span<const double> params,
+                             std::size_t sample, const SeedVector& seeds,
+                             std::uint64_t salt) {
+  EvalContext ctx;
+  ctx.params = params;
+  ctx.sample_id = sample;
+  ctx.seeds = &seeds;
+  ctx.stream_salt = salt;
+  Row inner_row;
+  if (!inner.empty()) {
+    std::vector<Value> inner_aliases;
+    EvalContext inner_ctx = ctx;
+    inner_ctx.aliases = &inner_aliases;
+    for (const auto& e : inner) {
+      JIGSAW_ASSIGN_OR_RETURN(Value v, e->Eval(inner_ctx));
+      inner_aliases.push_back(std::move(v));
+    }
+    inner_row = std::move(inner_aliases);
+    ctx.row = &inner_row;
+  }
+  std::vector<Value> aliases;
+  ctx.aliases = &aliases;
+  for (std::size_t i = 0; i <= j; ++i) {
+    JIGSAW_ASSIGN_OR_RETURN(Value v, outer[i]->Eval(ctx));
+    aliases.push_back(std::move(v));
+  }
+  if (!aliases[j].IsNumeric()) {
+    return Status::ExecutionError("column '" + names[j] +
+                                  "' is not numeric");
+  }
+  return aliases[j].AsDouble();
+}
+
+BlackBoxPtr MakeNoisyModel() {
+  return std::make_shared<CallableBlackBox>(
+      "Noisy", std::vector<std::string>{"base"},
+      [](std::span<const double> params, RandomStream& rng) {
+        return params[0] + rng.NextDouble();
+      });
+}
+
+TEST(BatchProgramTest, BitIdenticalToInterpreterAcrossBatchGrid) {
+  // Mixed shape: broadcast loads, arithmetic, comparisons, CASE with
+  // ELSE, AND/OR, and two stochastic call sites (one with lane-uniform
+  // args, one fed by another model call).
+  auto model = MakeNoisyModel();
+  std::vector<ExprPtr> inner = {
+      MakeModelCall(model, {MakeLiteral(Value(10.0))}, /*call_site=*/1)};
+  std::vector<ExprPtr> outer;
+  std::vector<std::string> names = {"demand", "capacity", "overload"};
+  outer.push_back(MakeColumnRef(0, "demand"));
+  outer.push_back(MakeBinary(
+      BinaryOp::kAdd, MakeParamRef(0, "p"),
+      MakeModelCall(model, {MakeAliasRef(0, "demand")}, /*call_site=*/2)));
+  outer.push_back(MakeCase(
+      {{MakeBinary(BinaryOp::kAnd,
+                   MakeBinary(BinaryOp::kLt, MakeAliasRef(1, "capacity"),
+                              MakeAliasRef(0, "demand")),
+                   MakeBinary(BinaryOp::kGt, MakeParamRef(0, "p"),
+                              MakeLiteral(Value(0.0)))),
+        MakeLiteral(Value(1.0))}},
+      MakeLiteral(Value(0.0))));
+
+  auto compiled = CompileBatchProgram(inner, outer, names);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const BatchProgram& program = *compiled.value();
+
+  const std::size_t kSamples = 64;
+  SeedVector seeds(0xFEED, kSamples);
+  const std::vector<double> params = {2.5};
+  for (std::uint64_t salt : {std::uint64_t{0}, std::uint64_t{77}}) {
+    for (std::size_t batch : {1u, 7u, 64u}) {
+      SCOPED_TRACE(testing::Message() << "salt=" << salt
+                                      << " batch=" << batch);
+      for (std::size_t j = 0; j < outer.size(); ++j) {
+        std::vector<double> got(kSamples);
+        BatchScratch scratch;
+        for (std::size_t begin = 0; begin < kSamples; begin += batch) {
+          const std::size_t n = std::min(batch, kSamples - begin);
+          BatchProgram::Context ctx;
+          ctx.params = params;
+          ctx.sample_begin = begin;
+          ctx.seeds = &seeds;
+          ctx.stream_salt = salt;
+          ASSERT_TRUE(program
+                          .RunColumn(j, ctx, n,
+                                     std::span<double>(got.data() + begin, n),
+                                     scratch)
+                          .ok());
+        }
+        for (std::size_t k = 0; k < kSamples; ++k) {
+          auto ref =
+              RefEvalColumn(inner, outer, names, j, params, k, seeds, salt);
+          ASSERT_TRUE(ref.ok());
+          EXPECT_EQ(got[k], ref.value()) << "column " << j << " sample " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchProgramTest, DivisionByZeroReportsLowestLaneError) {
+  // q = 100 / @d with @d fed per lane; lanes 2 and 5 divide by zero, so
+  // the batch must fail with exactly the error the serial interpreter
+  // hits first (lane 2's).
+  std::vector<ExprPtr> outer = {MakeBinary(
+      BinaryOp::kDiv, MakeLiteral(Value(100.0)), MakeParamRef(0, "d"))};
+  std::vector<std::string> names = {"q"};
+  auto compiled = CompileBatchProgram({}, outer, names);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  SeedVector seeds(1, 8);
+  const std::vector<double> lanes = {1, 2, 0, 4, 5, 0, 7, 8};
+  BatchProgram::LaneParam lane_param{0, lanes};
+  BatchProgram::Context ctx;
+  ctx.params = std::vector<double>{1.0};
+  ctx.lane_params = std::span<const BatchProgram::LaneParam>(&lane_param, 1);
+  ctx.seeds = &seeds;
+  BatchScratch scratch;
+  std::vector<double> out(8);
+  Status s = compiled.value()->RunColumn(0, ctx, 8, out, scratch);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
+  EXPECT_EQ(s.message(), "division by zero");
+
+  // The clean prefix of lanes must still be computable alone.
+  Status ok2 = compiled.value()->RunColumn(0, ctx, 2, out, scratch);
+  EXPECT_TRUE(ok2.ok()) << ok2.ToString();
+  EXPECT_EQ(out[0], 100.0);
+  EXPECT_EQ(out[1], 50.0);
+}
+
+TEST(BatchProgramTest, LogicalOpsShortCircuitErroringRightOperand) {
+  // (d > 0) AND (10 / d > 1): lanes with d == 0 short-circuit to false;
+  // the division must not run (let alone raise) there. Matching OR form
+  // checks the complementary mask.
+  auto guard = MakeBinary(BinaryOp::kGt, MakeParamRef(0, "d"),
+                          MakeLiteral(Value(0.0)));
+  auto risky = MakeBinary(
+      BinaryOp::kGt,
+      MakeBinary(BinaryOp::kDiv, MakeLiteral(Value(10.0)),
+                 MakeParamRef(0, "d")),
+      MakeLiteral(Value(1.0)));
+  std::vector<ExprPtr> outer = {
+      MakeBinary(BinaryOp::kAnd, guard, risky),
+      MakeBinary(BinaryOp::kOr, MakeNot(guard), risky)};
+  std::vector<std::string> names = {"and_col", "or_col"};
+  auto compiled = CompileBatchProgram({}, outer, names);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  SeedVector seeds(1, 8);
+  const std::vector<double> lanes = {4, 0, 20, 0, 5, 0, 0, 2};
+  BatchProgram::LaneParam lane_param{0, lanes};
+  BatchProgram::Context ctx;
+  ctx.params = std::vector<double>{1.0};
+  ctx.lane_params = std::span<const BatchProgram::LaneParam>(&lane_param, 1);
+  ctx.seeds = &seeds;
+  BatchScratch scratch;
+  for (std::size_t j = 0; j < outer.size(); ++j) {
+    std::vector<double> got(8);
+    Status s = compiled.value()->RunColumn(j, ctx, 8, got, scratch);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    for (std::size_t k = 0; k < 8; ++k) {
+      const std::vector<double> params = {lanes[k]};
+      auto ref = RefEvalColumn({}, outer, names, j, params, k, seeds, 0);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      EXPECT_EQ(got[k], ref.value()) << "column " << j << " lane " << k;
+    }
+  }
+}
+
+TEST(BatchProgramTest, CaseWithoutElseMatchesInterpreterNullSemantics) {
+  // CASE WHEN d > 0 THEN d END: lanes failing the WHEN produce NULL; as
+  // an output column that is the interpreter's "not numeric" error, and
+  // as an intermediate alias it must flow through untouched arithmetic.
+  std::vector<ExprPtr> outer = {
+      MakeCase({{MakeBinary(BinaryOp::kGt, MakeParamRef(0, "d"),
+                            MakeLiteral(Value(0.0))),
+                 MakeParamRef(0, "d")}},
+               nullptr),
+      MakeBinary(BinaryOp::kAdd, MakeAliasRef(0, "maybe"),
+                 MakeLiteral(Value(1.0))),
+      MakeLiteral(Value(7.0))};
+  std::vector<std::string> names = {"maybe", "shifted", "ok"};
+  auto compiled = CompileBatchProgram({}, outer, names);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  SeedVector seeds(1, 4);
+  BatchProgram::Context ctx;
+  ctx.seeds = &seeds;
+  BatchScratch scratch;
+  std::vector<double> got(4);
+
+  {  // All lanes match: both output columns are clean and identical.
+    const std::vector<double> lanes = {1, 2, 3, 4};
+    BatchProgram::LaneParam lane_param{0, lanes};
+    ctx.lane_params =
+        std::span<const BatchProgram::LaneParam>(&lane_param, 1);
+    ctx.params = std::vector<double>{1.0};
+    for (std::size_t j : {0u, 1u}) {
+      Status s = compiled.value()->RunColumn(j, ctx, 4, got, scratch);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      for (std::size_t k = 0; k < 4; ++k) {
+        EXPECT_EQ(got[k], lanes[k] + (j == 1 ? 1.0 : 0.0));
+      }
+    }
+  }
+  {  // A NULL lane: the same error (and message) the interpreter gives.
+    const std::vector<double> lanes = {1, -2, 3, 4};
+    BatchProgram::LaneParam lane_param{0, lanes};
+    ctx.lane_params =
+        std::span<const BatchProgram::LaneParam>(&lane_param, 1);
+    for (std::size_t j : {0u, 1u}) {
+      Status s = compiled.value()->RunColumn(j, ctx, 4, got, scratch);
+      const std::vector<double> params = {lanes[1]};
+      auto ref = RefEvalColumn({}, outer, names, j, params, 1, seeds, 0);
+      ASSERT_FALSE(s.ok());
+      ASSERT_FALSE(ref.ok());
+      EXPECT_EQ(s.message(), ref.status().message());
+    }
+    // Column "ok" never touches the NULL register: RunColumn must skip
+    // the intermediate columns' numeric checks like EvalColumn does.
+    Status s = compiled.value()->RunColumn(2, ctx, 4, got, scratch);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(got[1], 7.0);
+    // RunAll, by contrast, checks every column in order.
+    std::vector<double> c0(4), c1(4), c2(4);
+    std::vector<double*> cols = {c0.data(), c1.data(), c2.data()};
+    Status all = compiled.value()->RunAll(ctx, 4, cols, scratch);
+    ASSERT_FALSE(all.ok());
+    EXPECT_EQ(all.message(), "column 'maybe' is not numeric");
+  }
+}
+
+TEST(BatchProgramTest, ModelCallStreamsMatchInterpreterPerSaltAndSite) {
+  // Two lexical call sites over the same model must draw independent
+  // streams, and a nonzero stream salt must re-derive them exactly as
+  // ModelCallExpr does; nested calls force the per-lane dispatch path.
+  auto model = MakeNoisyModel();
+  std::vector<ExprPtr> outer = {
+      MakeBinary(BinaryOp::kSub,
+                 MakeModelCall(model, {MakeLiteral(Value(5.0))}, 11),
+                 MakeModelCall(model, {MakeLiteral(Value(5.0))}, 12)),
+      MakeModelCall(model,
+                    {MakeModelCall(model, {MakeLiteral(Value(1.0))}, 13)},
+                    14)};
+  std::vector<std::string> names = {"diff", "nested"};
+  auto compiled = CompileBatchProgram({}, outer, names);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  const std::size_t kSamples = 32;
+  SeedVector seeds(0xABCD, kSamples);
+  BatchScratch scratch;
+  for (std::uint64_t salt : {std::uint64_t{0}, std::uint64_t{0x5A17}}) {
+    for (std::size_t j = 0; j < outer.size(); ++j) {
+      BatchProgram::Context ctx;
+      ctx.seeds = &seeds;
+      ctx.stream_salt = salt;
+      std::vector<double> got(kSamples);
+      Status s = compiled.value()->RunColumn(j, ctx, kSamples, got, scratch);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      for (std::size_t k = 0; k < kSamples; ++k) {
+        auto ref = RefEvalColumn({}, outer, names, j, {}, k, seeds, salt);
+        ASSERT_TRUE(ref.ok());
+        EXPECT_EQ(got[k], ref.value())
+            << "salt " << salt << " column " << j << " sample " << k;
+      }
+    }
+  }
+}
+
+TEST(BatchProgramTest, ModelArgErrorPrecedenceMatchesInterpreter) {
+  // F(NULL-able, erroring) must report the interpreter's first failure:
+  // argument i is numeric-checked before argument i+1 ever evaluates, so
+  // a NULL first argument wins over a division by zero in the second.
+  auto two_arg = std::make_shared<CallableBlackBox>(
+      "F", std::vector<std::string>{"a", "b"},
+      [](std::span<const double> params, RandomStream&) {
+        return params[0] + params[1];
+      });
+  std::vector<ExprPtr> outer = {MakeModelCall(
+      two_arg,
+      {MakeCase({{MakeBinary(BinaryOp::kLt, MakeParamRef(0, "p"),
+                             MakeLiteral(Value(0.0))),
+                  MakeLiteral(Value(1.0))}},
+                nullptr),
+       MakeBinary(BinaryOp::kDiv, MakeLiteral(Value(1.0)),
+                  MakeParamRef(0, "p"))},
+      /*call_site=*/1)};
+  std::vector<std::string> names = {"x"};
+  auto compiled = CompileBatchProgram({}, outer, names);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  SeedVector seeds(1, 4);
+  // p = 0: first argument is NULL *and* the second divides by zero.
+  const std::vector<double> lanes = {-1, 0, -2, -3};
+  BatchProgram::LaneParam lane_param{0, lanes};
+  BatchProgram::Context ctx;
+  ctx.params = std::vector<double>{1.0};
+  ctx.lane_params = std::span<const BatchProgram::LaneParam>(&lane_param, 1);
+  ctx.seeds = &seeds;
+  BatchScratch scratch;
+  std::vector<double> got(4);
+  Status s = compiled.value()->RunColumn(0, ctx, 4, got, scratch);
+  auto ref = RefEvalColumn({}, outer, names, 0, {{0.0}}, 1, seeds, 0);
+  ASSERT_FALSE(s.ok());
+  ASSERT_FALSE(ref.ok());
+  EXPECT_EQ(s.message(), ref.status().message());
+  EXPECT_EQ(s.message(), "non-numeric argument to F");
+
+  // Without seeds the interpreter fails before evaluating any argument;
+  // the compiled program must prefer that error over the div-by-zero.
+  BatchProgram::Context no_seeds = ctx;
+  no_seeds.seeds = nullptr;
+  Status s2 = compiled.value()->RunColumn(0, no_seeds, 4, got, scratch);
+  ASSERT_FALSE(s2.ok());
+  EXPECT_EQ(s2.message(),
+            "stochastic expression evaluated without a seed vector");
+}
+
+TEST(BatchProgramTest, ModelCallWithoutSeedsMatchesInterpreterError) {
+  auto model = MakeNoisyModel();
+  std::vector<ExprPtr> outer = {
+      MakeModelCall(model, {MakeLiteral(Value(1.0))}, 1)};
+  std::vector<std::string> names = {"x"};
+  auto compiled = CompileBatchProgram({}, outer, names);
+  ASSERT_TRUE(compiled.ok());
+  BatchProgram::Context ctx;  // no seeds
+  BatchScratch scratch;
+  std::vector<double> got(4);
+  Status s = compiled.value()->RunColumn(0, ctx, 4, got, scratch);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.message(),
+            "stochastic expression evaluated without a seed vector");
+}
+
+TEST(BatchProgramTest, UncompilableExpressionsReportReasons) {
+  // String literals have no numeric batch form; the reason must say so.
+  std::vector<ExprPtr> with_string = {
+      MakeCase({{MakeBinary(BinaryOp::kEq, MakeLiteral(Value(std::string("a"))),
+                            MakeLiteral(Value(std::string("b")))),
+                 MakeLiteral(Value(1.0))}},
+               MakeLiteral(Value(2.0)))};
+  std::vector<std::string> names = {"x"};
+  auto r1 = CompileBatchProgram({}, with_string, names);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("string literal"), std::string::npos);
+
+  // INT literals carry 64-bit integer arithmetic the double VM cannot
+  // reproduce bit-for-bit.
+  std::vector<ExprPtr> with_int = {MakeBinary(
+      BinaryOp::kAdd, MakeLiteral(Value(std::int64_t{1})),
+      MakeLiteral(Value(std::int64_t{2})))};
+  auto r2 = CompileBatchProgram({}, with_int, names);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("INT literal"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

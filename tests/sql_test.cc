@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "models/cloud_models.h"
 #include "sql/binder.h"
 #include "sql/chain_process.h"
@@ -554,6 +559,255 @@ TEST_F(BinderTest, MonteCarloThreadedIsBitIdenticalToSerial) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled expressions: the BatchProgram path must be bit-identical to
+// the interpreter at every batch_size x num_threads grid point, and must
+// fall back (visibly) when an expression has no batch form.
+// ---------------------------------------------------------------------------
+
+class CompiledExprTest : public BinderTest {
+ protected:
+  void SetUp() override {
+    BinderTest::SetUp();
+    // Bernoulli helper: sample-dependent 0/1 so error paths (division by
+    // zero, NULL columns) trigger on some worlds but not world 0.
+    registry_.RegisterOrReplace(std::make_shared<CallableBlackBox>(
+        "CoinFlip", std::vector<std::string>{"p"},
+        [](std::span<const double> params, RandomStream& rng) {
+          return rng.NextDouble() < params[0] ? 1.0 : 0.0;
+        }));
+  }
+
+  Result<ScriptOutcome> RunScript(const std::string& text, bool compiled,
+                                  std::size_t threads, std::size_t batch,
+                                  std::size_t samples = 200) {
+    RunConfig cfg;
+    cfg.num_samples = samples;
+    cfg.num_threads = threads;
+    cfg.batch_size = batch;
+    cfg.compile_expressions = compiled;
+    ScriptRunner runner(&registry_, cfg);
+    return runner.Run(text);
+  }
+
+  static void ExpectSameMetrics(
+      const std::map<std::string, OutputMetrics>& expected,
+      const std::map<std::string, OutputMetrics>& actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (const auto& [name, m] : expected) {
+      const auto& a = actual.at(name);
+      EXPECT_EQ(m.count, a.count) << name;
+      EXPECT_EQ(m.mean, a.mean) << name;
+      EXPECT_EQ(m.stddev, a.stddev) << name;
+      EXPECT_EQ(m.std_error, a.std_error) << name;
+      EXPECT_EQ(m.p50, a.p50) << name;
+      EXPECT_EQ(m.p95, a.p95) << name;
+      EXPECT_EQ(m.min, a.min) << name;
+      EXPECT_EQ(m.max, a.max) << name;
+    }
+  }
+};
+
+constexpr const char* kCompiledMonteCarloScript = R"(
+DECLARE PARAMETER @w AS RANGE 10 TO 30 STEP BY 10;
+SELECT DemandModel(@w, 52) AS demand,
+       CapacityModel(@w, 8, 8) AS capacity,
+       CASE WHEN capacity < demand AND @w > 0 THEN 1 ELSE 0 END AS overload,
+       (demand + 1) / (capacity + 1) AS ratio
+INTO r;
+MONTECARLO;
+)";
+
+TEST_F(CompiledExprTest, MonteCarloBitIdenticalToInterpreterAcrossGrid) {
+  auto reference = RunScript(kCompiledMonteCarloScript, /*compiled=*/false,
+                             /*threads=*/1, /*batch=*/64);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_FALSE(reference.value().bound.program->compiled());
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    for (std::size_t batch : {1u, 7u, 64u}) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " batch=" << batch);
+      auto compiled =
+          RunScript(kCompiledMonteCarloScript, /*compiled=*/true, threads,
+                    batch);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      ASSERT_TRUE(compiled.value().bound.program->compiled())
+          << compiled.value().bound.program->batch_fallback_reason;
+      ExpectSameMetrics(reference.value().montecarlo->columns,
+                        compiled.value().montecarlo->columns);
+    }
+  }
+}
+
+TEST_F(CompiledExprTest, LayeredMonteCarloBitIdenticalToInterpreter) {
+  const std::string script =
+      std::string(kCompiledMonteCarloScript).substr(0, std::string(
+          kCompiledMonteCarloScript).rfind("MONTECARLO;")) +
+      "MONTECARLO USING LAYERED;";
+  auto interpreted = RunScript(script, /*compiled=*/false, 2, 7);
+  auto compiled = RunScript(script, /*compiled=*/true, 2, 7);
+  ASSERT_TRUE(interpreted.ok()) << interpreted.status().ToString();
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ExpectSameMetrics(interpreted.value().montecarlo->columns,
+                    compiled.value().montecarlo->columns);
+}
+
+TEST_F(CompiledExprTest, ChainBitIdenticalToInterpreterAcrossBatches) {
+  const char* kFigure5 = R"(
+DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @release_week AS CHAIN release_week
+  FROM @current_week : @current_week - 1 INITIAL VALUE 52;
+SELECT CASE WHEN demand > 26 AND @current_week + 4 < @release_week
+            THEN @current_week + 4 ELSE @release_week END AS release_week,
+       demand
+FROM (SELECT DemandModel(@current_week, @release_week) AS demand)
+INTO results;
+)";
+  auto bound = ParseAndBind(kFigure5, registry_);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_TRUE(bound.value().program->compiled())
+      << bound.value().program->batch_fallback_reason;
+
+  for (bool use_jump : {false, true}) {
+    RunConfig ref_cfg;
+    ref_cfg.num_samples = 150;
+    ref_cfg.fingerprint_size = 10;
+    ref_cfg.compile_expressions = false;
+    ChainRunStats ref_stats;
+    auto reference = RunChainScenario(bound.value(), "demand", 30, ref_cfg,
+                                      use_jump, &ref_stats);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    for (std::size_t batch : {1u, 7u, 64u}) {
+      SCOPED_TRACE(testing::Message()
+                   << "jump=" << use_jump << " batch=" << batch);
+      RunConfig cfg = ref_cfg;
+      cfg.batch_size = batch;
+      cfg.compile_expressions = true;
+      ChainRunStats stats;
+      auto compiled =
+          RunChainScenario(bound.value(), "demand", 30, cfg, use_jump,
+                           &stats);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      EXPECT_EQ(reference.value().mean, compiled.value().mean);
+      EXPECT_EQ(reference.value().stddev, compiled.value().stddev);
+      EXPECT_EQ(reference.value().p50, compiled.value().p50);
+      EXPECT_EQ(reference.value().p95, compiled.value().p95);
+      EXPECT_EQ(reference.value().min, compiled.value().min);
+      EXPECT_EQ(reference.value().max, compiled.value().max);
+      EXPECT_EQ(ref_stats.step_invocations, stats.step_invocations);
+      EXPECT_EQ(ref_stats.estimator_invocations,
+                stats.estimator_invocations);
+      EXPECT_EQ(ref_stats.mismatches, stats.mismatches);
+    }
+  }
+}
+
+TEST_F(CompiledExprTest, CompiledSampleBatchMatchesScalarSample) {
+  // The core engine's fingerprint/tail/sweep phases ride
+  // ColumnSimFunction::SampleBatch; every span must reproduce the scalar
+  // interpreter walk bit-for-bit, including cross-column alias draws.
+  auto bound = ParseAndBind(kFigure1, registry_);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  ASSERT_TRUE(bound.value().program->compiled());
+  const std::size_t kSamples = 40;
+  SeedVector seeds(0x5EED, kSamples);
+  const auto valuation = bound.value().scenario.params.ValuationAt(3);
+  for (const auto& col : bound.value().scenario.columns) {
+    for (std::size_t batch : {1u, 7u, 64u}) {
+      std::vector<double> got(kSamples);
+      for (std::size_t begin = 0; begin < kSamples; begin += batch) {
+        const std::size_t n = std::min(batch, kSamples - begin);
+        col.fn->SampleBatch(valuation, begin, seeds,
+                            std::span<double>(got.data() + begin, n));
+      }
+      for (std::size_t k = 0; k < kSamples; ++k) {
+        EXPECT_EQ(got[k], col.fn->Sample(valuation, k, seeds))
+            << col.name << " batch " << batch << " sample " << k;
+      }
+    }
+  }
+}
+
+TEST_F(CompiledExprTest, DivisionByZeroParityWithInterpreter) {
+  // CoinFlip lands 0 on some world > 0 (world 0 and the bind probe pass
+  // at p = 0.97), so both paths must fail with the interpreter's
+  // division-by-zero error.
+  const char* script = "SELECT 1 / CoinFlip(0.97) AS q INTO r; MONTECARLO;";
+  auto interpreted = RunScript(script, /*compiled=*/false, 1, 64, 400);
+  auto compiled = RunScript(script, /*compiled=*/true, 1, 64, 400);
+  EXPECT_EQ(interpreted.status(), compiled.status());
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.status().message().find("division by zero"),
+            std::string::npos);
+  // The grid must agree on the reported error too (lowest failing world).
+  for (std::size_t threads : {2u, 8u}) {
+    for (std::size_t batch : {1u, 7u, 64u}) {
+      auto parallel = RunScript(script, /*compiled=*/true, threads, batch,
+                                400);
+      EXPECT_EQ(interpreted.status(), parallel.status())
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+}
+
+TEST_F(CompiledExprTest, ShortCircuitGuardsErroringOperandsLikeInterpreter) {
+  // has == 0 lanes short-circuit the AND before 1/has runs; both paths
+  // must succeed and agree bit-for-bit.
+  const char* script =
+      "SELECT CoinFlip(0.5) AS has,"
+      "       CASE WHEN has > 0 AND 1 / has > 0 THEN 1 ELSE 0 END AS safe "
+      "INTO r; MONTECARLO;";
+  auto interpreted = RunScript(script, /*compiled=*/false, 1, 64);
+  ASSERT_TRUE(interpreted.ok()) << interpreted.status().ToString();
+  auto compiled = RunScript(script, /*compiled=*/true, 2, 7);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_TRUE(compiled.value().bound.program->compiled());
+  ExpectSameMetrics(interpreted.value().montecarlo->columns,
+                    compiled.value().montecarlo->columns);
+  // Sanity: both coin faces actually occurred.
+  EXPECT_GT(compiled.value().montecarlo->columns.at("has").mean, 0.0);
+  EXPECT_LT(compiled.value().montecarlo->columns.at("has").mean, 1.0);
+}
+
+TEST_F(CompiledExprTest, CaseWithoutElseParityWithInterpreter) {
+  // Worlds whose WHEN misses produce NULL -> "not numeric", exactly as
+  // interpreted (the bind probe passes because world-0-probe flips 1).
+  const char* script =
+      "SELECT CASE WHEN CoinFlip(0.9) > 0 THEN 1 END AS maybe "
+      "INTO r; MONTECARLO;";
+  auto interpreted = RunScript(script, /*compiled=*/false, 1, 64, 400);
+  auto compiled = RunScript(script, /*compiled=*/true, 1, 64, 400);
+  EXPECT_EQ(interpreted.status(), compiled.status());
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.status().message().find("'maybe' is not numeric"),
+            std::string::npos);
+}
+
+TEST_F(CompiledExprTest, UncompilableScriptFallsBackWithVisibleReason) {
+  // String comparisons are interpreter-only; the script must still run,
+  // and the de-optimization must be queryable from the outcome report.
+  const char* script =
+      "SELECT CASE WHEN 'a' = 'b' THEN 1 ELSE 2 END AS x INTO r;"
+      "MONTECARLO;";
+  auto outcome = RunScript(script, /*compiled=*/true, 1, 64);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const auto& program = *outcome.value().bound.program;
+  EXPECT_FALSE(program.compiled());
+  EXPECT_NE(program.batch_fallback_reason.find("string literal"),
+            std::string::npos);
+  EXPECT_NE(outcome.value().Report().find("expressions: interpreted"),
+            std::string::npos);
+  EXPECT_NE(outcome.value().Report().find("fallback:"), std::string::npos);
+  EXPECT_EQ(outcome.value().montecarlo->columns.at("x").mean, 2.0);
+
+  // Compiled scripts advertise the fast path instead.
+  auto compiled = RunScript(kCompiledMonteCarloScript, true, 1, 64);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_NE(compiled.value().Report().find("expressions: compiled"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
