@@ -11,10 +11,21 @@ std::vector<double> ParameterDef::Values() const {
   if (const auto* range = std::get_if<RangeDomain>(&domain)) {
     std::vector<double> out;
     JIGSAW_CHECK_MSG(range->step > 0.0, "non-positive RANGE step");
-    // Tolerate floating point drift at the upper bound.
+    // Tolerate floating point drift at the upper bound. Values are
+    // index-stepped (lo + i*step) rather than accumulated (v += step):
+    // accumulation never terminates when lo + step rounds back to lo
+    // (e.g. lo=1e16, step=1) and drifts over long fractional-step grids.
     const double eps = range->step * 1e-9;
-    for (double v = range->lo; v <= range->hi + eps; v += range->step) {
-      out.push_back(v);
+    const double span = (range->hi + eps - range->lo) / range->step;
+    if (!std::isfinite(span) || span < 0.0) return out;  // empty/degenerate
+    // ParameterSpace::Add and the MONTECARLO OVER binder bound the span
+    // with clean errors; a directly-constructed def violating it is a
+    // programming bug (the cast below is UB past SIZE_MAX).
+    JIGSAW_CHECK_MSG(span < 1e15, "RANGE spans too many values");
+    const auto count = static_cast<std::size_t>(span) + 1;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(range->lo + static_cast<double>(i) * range->step);
     }
     return out;
   }
@@ -37,6 +48,20 @@ Status ParameterSpace::Add(ParameterDef def) {
     if (range->hi < range->lo) {
       return Status::InvalidArgument("parameter '@" + def.name +
                                      "' has empty RANGE");
+    }
+    // Bound the materialized grid: Values() enumerates the whole range
+    // into a vector, so a non-finite bound or an absurd span must fail
+    // here with a clean error rather than abort (or overflow a size_t)
+    // at enumeration time.
+    if (!std::isfinite(range->lo) || !std::isfinite(range->hi) ||
+        !std::isfinite(range->step)) {
+      return Status::InvalidArgument("parameter '@" + def.name +
+                                     "' has non-finite RANGE bounds");
+    }
+    if ((range->hi - range->lo) / range->step >= 1e8) {
+      return Status::InvalidArgument("parameter '@" + def.name +
+                                     "' RANGE spans more than 100000000 "
+                                     "values");
     }
   }
   if (const auto* set = std::get_if<SetDomain>(&def.domain)) {

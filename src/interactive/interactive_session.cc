@@ -4,6 +4,7 @@
 
 #include "core/fingerprint.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace jigsaw {
 
@@ -69,6 +70,37 @@ Status InteractiveSession::SetFocus(std::size_t point_index) {
   return Status::OK();
 }
 
+Status InteractiveSession::PrimeFromSweep(std::size_t point_index,
+                                          const OutputMetrics& metrics) {
+  if (point_index >= space_.NumPoints()) {
+    return Status::OutOfRange("point index out of range");
+  }
+  if (metrics.samples.empty()) {
+    return Status::InvalidArgument(
+        "sweep metrics retained no samples; run the sweep with "
+        "keep_samples");
+  }
+  // Silently importing a prefix would report less support than the sweep
+  // produced; make the caller trim (or raise max_samples) explicitly.
+  if (metrics.samples.size() > config_.max_samples) {
+    return Status::InvalidArgument(StrFormat(
+        "sweep retained %zu samples but the session caps sample ids at "
+        "max_samples=%zu",
+        metrics.samples.size(), config_.max_samples));
+  }
+  PointState& state = StateFor(point_index);
+  // World id k of the sweep is sample id k of this session (both draw
+  // sample k from seed sigma_k of the shared master seed), so the
+  // imported values fold through the same path a tick's own evaluations
+  // take: an already-bound point refines (or rebind-checks) its basis,
+  // an unbound one binds below.
+  for (std::size_t id = 0; id < metrics.samples.size(); ++id) {
+    FoldSample(state, id, metrics.samples[id]);
+  }
+  if (state.basis == nullptr) BindPoint(point_index);
+  return Status::OK();
+}
+
 InteractiveSession::PointState& InteractiveSession::StateFor(
     std::size_t point_index) {
   auto it = points_.find(point_index);
@@ -126,31 +158,32 @@ void InteractiveSession::EvaluateBatch(std::size_t point_index,
   }
 
   for (std::size_t i = 0; i < valid.size(); ++i) {
-    const std::size_t id = valid[i];
-    const double value = values[i];
     ++stats_.evaluations;
-    state.own[id] = value;
-
-    if (state.basis != nullptr && state.mapping != nullptr) {
-      auto bit = state.basis->samples.find(id);
-      if (bit != state.basis->samples.end()) {
-        // Validation: the duplicate sample extends the fingerprint.
-        if (!ApproxEqual(state.mapping->Apply(bit->second), value,
-                         config_.run.tolerance)) {
-          // Mapping no longer valid: detach and rebind below.
-          --state.basis->subscribers;
-          state.basis = nullptr;
-          state.mapping = nullptr;
-          ++stats_.rebinds;
-        }
-      } else if (state.mapping->Invertible()) {
-        // Refinement: map the fresh sample back into the basis domain so
-        // every subscriber benefits (Algorithm 5 line 21).
-        state.basis->AddSample(id, state.mapping->Invert(value));
-      }
-    }
+    FoldSample(state, valid[i], values[i]);
   }
   if (state.basis == nullptr) BindPoint(point_index);
+}
+
+void InteractiveSession::FoldSample(PointState& state, std::size_t id,
+                                    double value) {
+  state.own[id] = value;
+  if (state.basis == nullptr || state.mapping == nullptr) return;
+  auto bit = state.basis->samples.find(id);
+  if (bit != state.basis->samples.end()) {
+    // Validation: the duplicate sample extends the fingerprint.
+    if (!ApproxEqual(state.mapping->Apply(bit->second), value,
+                     config_.run.tolerance)) {
+      // Mapping no longer valid: detach and rebind below.
+      --state.basis->subscribers;
+      state.basis = nullptr;
+      state.mapping = nullptr;
+      ++stats_.rebinds;
+    }
+  } else if (state.mapping->Invertible()) {
+    // Refinement: map the fresh sample back into the basis domain so
+    // every subscriber benefits (Algorithm 5 line 21).
+    state.basis->AddSample(id, state.mapping->Invert(value));
+  }
 }
 
 void InteractiveSession::BindPoint(std::size_t point_index) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/mapping.h"
+#include "core/metrics.h"
 #include "core/parameter_space.h"
 #include "core/run_config.h"
 #include "core/sim_function.h"
@@ -87,6 +88,20 @@ class InteractiveSession {
   /// space); subsequent ticks refine it and explore around it.
   Status SetFocus(std::size_t point_index);
 
+  /// Seeds a point's state from an externally computed possible-worlds
+  /// summary — one point of a `MONTECARLO OVER` sweep run with
+  /// keep_samples=true and the same master seed, whose world ids are this
+  /// session's sample ids. Retained sample i folds in as the evaluation
+  /// of sample id i, exactly as if a tick had produced it: an unbound
+  /// point binds and its estimate becomes addressable immediately
+  /// (EstimateFor); an already-bound point refines its basis with the
+  /// imported ids, rebinding if one contradicts the mapping. Later ticks
+  /// validate/refine on top of the primed state. Fails if `metrics`
+  /// retained no samples, or more than max_samples of them (nothing is
+  /// silently truncated — trim or raise the cap instead).
+  Status PrimeFromSweep(std::size_t point_index,
+                        const OutputMetrics& metrics);
+
   /// One pick-evaluate-update iteration (Algorithm 5 loop body). Returns
   /// the task performed.
   InteractiveTask Tick();
@@ -107,6 +122,11 @@ class InteractiveSession {
   struct PointState;
 
   PointState& StateFor(std::size_t point_index);
+  /// Records one (sample id, value) evaluation in the point's state and
+  /// folds it into the bound basis — validation with rebind-on-mismatch
+  /// for ids the basis already holds, refinement through M^{-1} for new
+  /// ids. Shared by ticks and PrimeFromSweep.
+  void FoldSample(PointState& state, std::size_t id, double value);
   InteractiveTask PickTask(const PointState& state);
   std::size_t ExploreHeuristic(std::size_t point_index);
   void EvaluateBatch(std::size_t point_index,

@@ -89,14 +89,29 @@ Result<LayeredPointResult> LayeredEngine::RunPoint(
 
 Result<std::vector<LayeredPointResult>> LayeredEngine::RunSweep(
     const PlanFactory& make_plan, const ParameterSpace& space) {
-  std::vector<LayeredPointResult> out;
+  std::vector<std::vector<double>> valuations;
   const std::size_t n = space.NumPoints();
-  out.reserve(n);
+  valuations.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto valuation = space.ValuationAt(i);
-    JIGSAW_ASSIGN_OR_RETURN(LayeredPointResult r,
-                            RunPoint(make_plan, valuation));
-    out.push_back(std::move(r));
+    valuations.push_back(space.ValuationAt(i));
+  }
+  return RunSweep(make_plan, valuations);
+}
+
+Result<std::vector<LayeredPointResult>> LayeredEngine::RunSweep(
+    const PlanFactory& make_plan,
+    std::span<const std::vector<double>> valuations) {
+  std::vector<LayeredPointResult> out;
+  out.reserve(valuations.size());
+  for (std::size_t i = 0; i < valuations.size(); ++i) {
+    auto r = RunPoint(make_plan, valuations[i]);
+    if (!r.ok()) {
+      // Match the direct executor's contract: multi-point failures name
+      // the point, a one-point sweep keeps RunPoint's raw error.
+      if (valuations.size() > 1) return NameSweepPoint(i, r.status());
+      return r.status();
+    }
+    out.push_back(std::move(r).value());
   }
   return out;
 }

@@ -78,6 +78,18 @@ class LayeredEngine {
   Result<std::vector<LayeredPointResult>> RunSweep(
       const PlanFactory& make_plan, const ParameterSpace& space);
 
+  /// Sweep over explicit valuations (MONTECARLO OVER @p): one RunPoint
+  /// per entry, in index order — points stay serial (the prototype
+  /// re-submits each point's queries to the DBMS) while each point's
+  /// worlds fan out on the engine's pool, and the WorldCache amortizes
+  /// realizations across points. Entry k is bit-identical to a standalone
+  /// RunPoint at valuations[k]; a failing point's error is prefixed with
+  /// "sweep point k" when the sweep has more than one point, matching the
+  /// direct executor's sweep contract.
+  Result<std::vector<LayeredPointResult>> RunSweep(
+      const PlanFactory& make_plan,
+      std::span<const std::vector<double>> valuations);
+
   WorldCache& world_cache() { return world_cache_; }
   const SeedVector& seeds() const { return seeds_; }
   const LayeredEngineStats& stats() const { return stats_; }

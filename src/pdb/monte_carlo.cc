@@ -1,11 +1,16 @@
 #include "pdb/monte_carlo.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "util/string_util.h"
 
 namespace jigsaw::pdb {
+
+namespace internal {
+std::size_t g_fold_staged_budget_override = 0;
+}  // namespace internal
 
 namespace {
 
@@ -53,128 +58,299 @@ Status FoldRow(const Table& t, std::size_t world, const WorldLayout& layout,
   return Status::OK();
 }
 
-/// Chunk scaffold shared by FoldWorlds and FoldWorldSpans: partitions
-/// [0, num_worlds) into batch_size chunks, fills each chunk's per-column
-/// staging buffers via `fill_chunk` (fanned out on `pool` when present),
-/// scans chunk statuses in index order — a fill stops at (and reports)
-/// its lowest failing world, and every earlier world lives in an
-/// earlier-or-equal chunk, so the surfaced error matches the serial
-/// world-at-a-time run regardless of schedule — then merges the buffers
-/// through Estimator::AddSpan in chunk order, which is bit-identical to
-/// a world-at-a-time fold for any chunk partition.
-Result<std::map<std::string, OutputMetrics>> FoldChunkedStages(
-    std::size_t num_worlds, std::span<const std::string> column_names,
-    const RunConfig& config, ThreadPool* pool,
-    const std::function<Status(std::size_t chunk, std::size_t begin,
+/// One sweep point of the chunk grid: its numeric column names, or the
+/// error that prevented locking its layout (a failed world-0 prepass). A
+/// point with a non-OK status schedules no chunk work; its error
+/// surfaces at the point's slot in the (point, chunk) scan.
+struct GridPoint {
+  Status status = Status::OK();
+  std::vector<std::string> names;
+};
+
+/// Prefixes sweep errors with the failing point so two-axis failures name
+/// both coordinates; single-axis folds pass name_points=false and keep
+/// the raw message.
+Status NamePoint(bool name_points, std::size_t point, Status status) {
+  if (!name_points) return status;
+  return NameSweepPoint(point, std::move(status));
+}
+
+/// Chunk-grid scaffold shared by every possible-worlds fold, one- and
+/// two-axis: partitions each point's [0, num_worlds) into batch_size
+/// chunks and fills every (point, chunk) cell's per-column staging
+/// buffers via `fill_cell` — all cells fan out on `pool` at once when it
+/// is present, while a serial run stops at the first failing cell in
+/// (point, chunk) order. Cell statuses are then scanned in (point, chunk)
+/// order — a fill stops at (and reports) its lowest failing world, and
+/// every earlier world of the same point lives in an earlier-or-equal
+/// chunk, so the surfaced error matches the serial point-by-point,
+/// world-at-a-time loop regardless of schedule. Finally each point's
+/// buffers merge through Estimator::AddSpan in chunk order, which is
+/// bit-identical to a world-at-a-time fold for any chunk partition — and
+/// per point bit-identical to a standalone single-point fold, since a
+/// point's staging never depends on its neighbours. Points stream
+/// through bounded-memory windows rather than staging the whole grid at
+/// once.
+Result<std::vector<std::map<std::string, OutputMetrics>>> FoldChunkGrid(
+    std::vector<GridPoint>& points, std::size_t num_worlds,
+    const RunConfig& config, ThreadPool* pool, bool name_points,
+    const std::function<Status(std::size_t point, std::size_t begin,
                                std::size_t end,
                                std::vector<std::vector<double>>& buffers)>&
-        fill_chunk) {
-  std::map<std::string, OutputMetrics> out;
+        fill_cell) {
+  const std::size_t num_points = points.size();
   const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
   const std::size_t num_chunks = (num_worlds + batch - 1) / batch;
-  const std::size_t width = column_names.size();
 
-  // stage[chunk][slot] holds chunk `chunk`'s samples of output column
-  // `slot` in world order.
-  std::vector<std::vector<std::vector<double>>> stage(
-      num_chunks, std::vector<std::vector<double>>(width));
-  std::vector<Status> chunk_status(num_chunks, Status::OK());
+  // Points are processed in windows so the staging footprint stays
+  // bounded no matter how many points the sweep has: ~128 MB of staged
+  // doubles in flight, never less than one point (a one-point window
+  // peaks exactly like the standalone statement). Per-point results are
+  // independent, windows run in point order and the first failing window
+  // returns before any later one evaluates, so windowing changes neither
+  // the merged values nor the surfaced error.
+  std::size_t width_max = 0;
+  for (const auto& p : points) {
+    width_max = std::max(width_max, p.names.size());
+  }
+  constexpr std::size_t kStagedBudget = std::size_t{1} << 24;  // doubles
+  const std::size_t budget = internal::g_fold_staged_budget_override != 0
+                                 ? internal::g_fold_staged_budget_override
+                                 : kStagedBudget;
+  const std::size_t per_point =
+      std::max<std::size_t>(1, num_worlds * std::max<std::size_t>(
+                                                1, width_max));
+  const std::size_t window = std::max<std::size_t>(1, budget / per_point);
 
-  auto run_chunk = [&](std::size_t chunk) {
-    const std::size_t begin = chunk * batch;
-    const std::size_t end = std::min(begin + batch, num_worlds);
-    chunk_status[chunk] = fill_chunk(chunk, begin, end, stage[chunk]);
-  };
-
-  if (pool != nullptr && num_chunks >= 2) {
-    pool->ParallelFor(num_chunks, run_chunk);
-  } else {
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      run_chunk(c);
-      if (!chunk_status[c].ok()) break;
+  std::vector<std::map<std::string, OutputMetrics>> out;
+  out.reserve(num_points);
+  // stage[(point - first) * num_chunks + chunk][slot] holds that cell's
+  // samples of output column `slot` in world order.
+  std::vector<std::vector<std::vector<double>>> stage;
+  std::vector<Status> cell_status;
+  for (std::size_t first = 0; first < num_points; first += window) {
+    const std::size_t last = std::min(first + window, num_points);
+    const std::size_t num_cells = (last - first) * num_chunks;
+    stage.assign(num_cells, {});
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      stage[cell].resize(points[first + cell / num_chunks].names.size());
     }
-  }
+    cell_status.assign(num_cells, Status::OK());
 
-  for (Status& s : chunk_status) {
-    JIGSAW_RETURN_IF_ERROR(std::move(s));
-  }
+    auto run_cell = [&](std::size_t cell) {
+      const std::size_t point = first + cell / num_chunks;
+      if (!points[point].status.ok()) return;  // layout never locked
+      const std::size_t chunk = cell % num_chunks;
+      const std::size_t begin = chunk * batch;
+      const std::size_t end = std::min(begin + batch, num_worlds);
+      cell_status[cell] = fill_cell(point, begin, end, stage[cell]);
+    };
 
-  std::vector<Estimator> estimators(
-      width, Estimator(config.keep_samples, config.histogram_bins));
-  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
-    for (std::size_t slot = 0; slot < width; ++slot) {
-      estimators[slot].AddSpan(stage[chunk][slot]);
+    if (pool != nullptr && num_cells >= 2) {
+      pool->ParallelFor(num_cells, run_cell);
+    } else {
+      for (std::size_t cell = 0; cell < num_cells; ++cell) {
+        if (!points[first + cell / num_chunks].status.ok()) break;
+        run_cell(cell);
+        if (!cell_status[cell].ok()) break;
+      }
     }
-    // Release each chunk as it folds: the estimators accumulate their own
-    // copy, so keeping the staging around would double peak memory.
-    stage[chunk] = {};
-  }
-  for (std::size_t slot = 0; slot < width; ++slot) {
-    out.emplace(column_names[slot], estimators[slot].Finalize());
+
+    for (std::size_t point = first; point < last; ++point) {
+      if (!points[point].status.ok()) {
+        return NamePoint(name_points, point,
+                         std::move(points[point].status));
+      }
+      for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        Status& s = cell_status[(point - first) * num_chunks + chunk];
+        if (!s.ok()) return NamePoint(name_points, point, std::move(s));
+      }
+    }
+    for (std::size_t point = first; point < last; ++point) {
+      const std::size_t width = points[point].names.size();
+      std::vector<Estimator> estimators(
+          width, Estimator(config.keep_samples, config.histogram_bins));
+      for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        const std::size_t cell = (point - first) * num_chunks + chunk;
+        for (std::size_t slot = 0; slot < width; ++slot) {
+          estimators[slot].AddSpan(stage[cell][slot]);
+        }
+        // Release each cell as it folds: the estimators accumulate their
+        // own copy, so keeping the staging around would double the peak.
+        stage[cell] = {};
+      }
+      std::map<std::string, OutputMetrics> columns;
+      for (std::size_t slot = 0; slot < width; ++slot) {
+        columns.emplace(points[point].names[slot],
+                        estimators[slot].Finalize());
+      }
+      out.push_back(std::move(columns));
+    }
   }
   return out;
 }
 
-}  // namespace
+/// Boxed-plan fold over the cell grid. World 0 of every point runs up
+/// front (fanned out on the pool when present) to lock that point's
+/// layout; chunk 0 of each point then reuses the already-materialized
+/// row so the chunk partition covers [0, num_worlds) exactly.
+Result<std::vector<std::map<std::string, OutputMetrics>>> FoldPointWorldsImpl(
+    std::size_t num_points, std::size_t num_worlds, const RunConfig& config,
+    ThreadPool* pool, const PointWorldFn& run_world, bool name_points) {
+  if (num_worlds == 0) {
+    return std::vector<std::map<std::string, OutputMetrics>>(num_points);
+  }
 
-Result<std::map<std::string, OutputMetrics>> FoldWorlds(
-    std::size_t num_worlds, const RunConfig& config, ThreadPool* pool,
-    const WorldFn& run_world) {
-  if (num_worlds == 0) return std::map<std::string, OutputMetrics>{};
-
-  // World 0 runs up front to lock the column layout; every later world is
-  // validated against it, so a type that flips across worlds fails loudly
-  // instead of silently dropping samples from one column's statistics.
-  JIGSAW_ASSIGN_OR_RETURN(Table first, run_world(0));
-  JIGSAW_RETURN_IF_ERROR(CheckOneRow(first));
-  WorldLayout layout;
-  layout.num_columns = first.schema().num_columns();
-  {
-    const Row& row = first.row(0);
-    for (std::size_t c = 0; c < layout.num_columns; ++c) {
+  struct PointState {
+    WorldLayout layout;
+    std::optional<Table> first;  // world 0's materialized row
+  };
+  std::vector<GridPoint> points(num_points);
+  std::vector<PointState> states(num_points);
+  auto lock_point = [&](std::size_t point) {
+    // World 0 locks this point's column layout; every later world is
+    // validated against it, so a type that flips across worlds (or
+    // points) fails loudly instead of silently skewing one column.
+    auto first = run_world(point, 0);
+    if (!first.ok()) {
+      points[point].status = first.status();
+      return;
+    }
+    if (Status s = CheckOneRow(first.value()); !s.ok()) {
+      points[point].status = std::move(s);
+      return;
+    }
+    PointState& st = states[point];
+    st.first = std::move(first).value();
+    st.layout.num_columns = st.first->schema().num_columns();
+    const Row& row = st.first->row(0);
+    for (std::size_t c = 0; c < st.layout.num_columns; ++c) {
       const bool numeric = row[c].IsNumeric();
-      layout.numeric.push_back(numeric);
-      if (numeric) layout.names.push_back(first.schema().column(c).name);
+      st.layout.numeric.push_back(numeric);
+      if (numeric) {
+        st.layout.names.push_back(st.first->schema().column(c).name);
+      }
+    }
+    points[point].names = st.layout.names;
+  };
+  // The prepasses touch independent per-point slots and the status scan
+  // in FoldChunkGrid picks the surfaced error in point order regardless
+  // of schedule, so they fan out too. The serial run stops at the first
+  // failure like the point-by-point loop it mirrors — the surfaced error
+  // can only live at an earlier-or-equal point, and the scan returns it
+  // before any never-locked point would fold.
+  if (pool != nullptr && num_points >= 2) {
+    pool->ParallelFor(num_points, lock_point);
+  } else {
+    for (std::size_t point = 0; point < num_points; ++point) {
+      lock_point(point);
+      if (!points[point].status.ok()) break;
     }
   }
 
-  // Chunk 0 starts from world 0's already-materialized row so the chunk
-  // partition covers [0, num_worlds) exactly.
-  auto fill_chunk = [&](std::size_t chunk, std::size_t begin,
-                        std::size_t end,
-                        std::vector<std::vector<double>>& buffers) {
+  auto fill_cell = [&](std::size_t point, std::size_t begin, std::size_t end,
+                       std::vector<std::vector<double>>& buffers) {
+    const PointState& st = states[point];
     for (auto& b : buffers) b.reserve(end - begin);
-    if (chunk == 0) JIGSAW_RETURN_IF_ERROR(FoldRow(first, 0, layout, buffers));
+    if (begin == 0) {
+      JIGSAW_RETURN_IF_ERROR(FoldRow(*st.first, 0, st.layout, buffers));
+    }
     for (std::size_t world = std::max<std::size_t>(begin, 1); world < end;
          ++world) {
-      auto t = run_world(world);
-      JIGSAW_RETURN_IF_ERROR(t.ok()
-                                 ? FoldRow(t.value(), world, layout, buffers)
-                                 : t.status());
+      auto t = run_world(point, world);
+      JIGSAW_RETURN_IF_ERROR(
+          t.ok() ? FoldRow(t.value(), world, st.layout, buffers)
+                 : t.status());
     }
     return Status::OK();
   };
-  return FoldChunkedStages(num_worlds, layout.names, config, pool,
-                           fill_chunk);
+  return FoldChunkGrid(points, num_worlds, config, pool, name_points,
+                       fill_cell);
 }
 
-Result<std::map<std::string, OutputMetrics>> FoldWorldSpans(
-    std::span<const std::string> column_names, std::size_t num_worlds,
-    const RunConfig& config, ThreadPool* pool, const WorldSpanFn& run_span) {
-  if (num_worlds == 0) return std::map<std::string, OutputMetrics>{};
-  auto fill_chunk = [&](std::size_t /*chunk*/, std::size_t begin,
-                        std::size_t end,
-                        std::vector<std::vector<double>>& buffers) {
+/// Span fold over the cell grid: the layout is statically known and
+/// all-numeric, so there is no world-0 prepass.
+Result<std::vector<std::map<std::string, OutputMetrics>>>
+FoldPointWorldSpansImpl(std::span<const std::string> column_names,
+                        std::size_t num_points, std::size_t num_worlds,
+                        const RunConfig& config, ThreadPool* pool,
+                        const PointWorldSpanFn& run_span, bool name_points) {
+  if (num_worlds == 0) {
+    return std::vector<std::map<std::string, OutputMetrics>>(num_points);
+  }
+  std::vector<GridPoint> points(num_points);
+  for (auto& p : points) {
+    p.names.assign(column_names.begin(), column_names.end());
+  }
+  auto fill_cell = [&](std::size_t point, std::size_t begin, std::size_t end,
+                       std::vector<std::vector<double>>& buffers) {
     const std::size_t count = end - begin;
     std::vector<double*> columns(buffers.size());
     for (std::size_t slot = 0; slot < buffers.size(); ++slot) {
       buffers[slot].resize(count);
       columns[slot] = buffers[slot].data();
     }
-    return run_span(begin, count, columns);
+    return run_span(point, begin, count, columns);
   };
-  return FoldChunkedStages(num_worlds, column_names, config, pool,
-                           fill_chunk);
+  return FoldChunkGrid(points, num_worlds, config, pool, name_points,
+                       fill_cell);
+}
+
+}  // namespace
+
+Status NameSweepPoint(std::size_t point, Status status) {
+  return Status(status.code(),
+                StrFormat("sweep point %zu: %s", point,
+                          status.message().c_str()));
+}
+
+Result<std::map<std::string, OutputMetrics>> FoldWorlds(
+    std::size_t num_worlds, const RunConfig& config, ThreadPool* pool,
+    const WorldFn& run_world) {
+  // The single-point case of the grid fold; errors keep their raw
+  // (unnamed) messages.
+  JIGSAW_ASSIGN_OR_RETURN(
+      auto points,
+      FoldPointWorldsImpl(
+          1, num_worlds, config, pool,
+          [&](std::size_t, std::size_t world) { return run_world(world); },
+          /*name_points=*/false));
+  return std::move(points[0]);
+}
+
+Result<std::map<std::string, OutputMetrics>> FoldWorldSpans(
+    std::span<const std::string> column_names, std::size_t num_worlds,
+    const RunConfig& config, ThreadPool* pool, const WorldSpanFn& run_span) {
+  JIGSAW_ASSIGN_OR_RETURN(
+      auto points,
+      FoldPointWorldSpansImpl(
+          column_names, 1, num_worlds, config, pool,
+          [&](std::size_t, std::size_t begin, std::size_t count,
+              std::span<double* const> columns) {
+            return run_span(begin, count, columns);
+          },
+          /*name_points=*/false));
+  return std::move(points[0]);
+}
+
+Result<std::vector<std::map<std::string, OutputMetrics>>> FoldPointWorlds(
+    std::size_t num_points, std::size_t num_worlds, const RunConfig& config,
+    ThreadPool* pool, const PointWorldFn& run_world) {
+  // A one-point sweep IS the standalone statement: its error must stay
+  // byte-identical to FoldWorlds, so the coordinate prefix only appears
+  // when there is more than one point to disambiguate.
+  return FoldPointWorldsImpl(num_points, num_worlds, config, pool, run_world,
+                             /*name_points=*/num_points > 1);
+}
+
+Result<std::vector<std::map<std::string, OutputMetrics>>>
+FoldPointWorldSpans(std::span<const std::string> column_names,
+                    std::size_t num_points, std::size_t num_worlds,
+                    const RunConfig& config, ThreadPool* pool,
+                    const PointWorldSpanFn& run_span) {
+  return FoldPointWorldSpansImpl(column_names, num_points, num_worlds,
+                                 config, pool, run_span,
+                                 /*name_points=*/num_points > 1);
 }
 
 Result<MonteCarloResult> MonteCarloExecutor::Run(
@@ -203,6 +379,44 @@ Result<MonteCarloResult> MonteCarloExecutor::RunSpans(
                                      config_, pool_.get(), run_span));
   result.worlds = config_.num_samples;
   return result;
+}
+
+Result<std::vector<MonteCarloResult>> MonteCarloExecutor::RunSweep(
+    const PlanFactory& make_plan,
+    std::span<const std::vector<double>> valuations) {
+  auto run_world = [&](std::size_t point,
+                       std::size_t world) -> Result<Table> {
+    JIGSAW_ASSIGN_OR_RETURN(PlanNodePtr plan, make_plan());
+    EvalContext ctx;
+    ctx.params = valuations[point];
+    ctx.sample_id = world;
+    ctx.seeds = &seeds_;
+    return ExecuteToTable(*plan, ctx);
+  };
+  JIGSAW_ASSIGN_OR_RETURN(
+      auto folded, FoldPointWorlds(valuations.size(), config_.num_samples,
+                                   config_, pool_.get(), run_world));
+  std::vector<MonteCarloResult> out(folded.size());
+  for (std::size_t point = 0; point < folded.size(); ++point) {
+    out[point].columns = std::move(folded[point]);
+    out[point].worlds = config_.num_samples;
+  }
+  return out;
+}
+
+Result<std::vector<MonteCarloResult>> MonteCarloExecutor::RunSweepSpans(
+    std::span<const std::string> column_names, std::size_t num_points,
+    const PointWorldSpanFn& run_span) {
+  JIGSAW_ASSIGN_OR_RETURN(
+      auto folded,
+      FoldPointWorldSpans(column_names, num_points, config_.num_samples,
+                          config_, pool_.get(), run_span));
+  std::vector<MonteCarloResult> out(folded.size());
+  for (std::size_t point = 0; point < folded.size(); ++point) {
+    out[point].columns = std::move(folded[point]);
+    out[point].worlds = config_.num_samples;
+  }
+  return out;
 }
 
 }  // namespace jigsaw::pdb

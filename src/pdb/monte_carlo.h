@@ -21,6 +21,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/metrics.h"
 #include "core/run_config.h"
@@ -73,6 +74,64 @@ Result<std::map<std::string, OutputMetrics>> FoldWorldSpans(
     std::span<const std::string> column_names, std::size_t num_worlds,
     const RunConfig& config, ThreadPool* pool, const WorldSpanFn& run_span);
 
+/// Per-point world evaluator for two-axis sweeps: evaluates world `world`
+/// of sweep point `point` into its single-row result table. Cells are
+/// evaluated concurrently from pool tasks, so the callable must be
+/// thread-safe.
+using PointWorldFn =
+    std::function<Result<Table>(std::size_t point, std::size_t world)>;
+
+/// Span twin for compiled programs: fills `columns[slot][i]` with output
+/// column `slot` of world `world_begin + i` evaluated at sweep point
+/// `point`.
+using PointWorldSpanFn = std::function<Status(
+    std::size_t point, std::size_t world_begin, std::size_t count,
+    std::span<double* const> columns)>;
+
+/// Prefixes a sweep-point failure with its point coordinate ("sweep
+/// point k: ..."), preserving the status code. The single format every
+/// sweep path uses — FoldPointWorlds/FoldPointWorldSpans and
+/// LayeredEngine::RunSweep — so errors name the failing point
+/// identically on both engines.
+Status NameSweepPoint(std::size_t point, Status status);
+
+/// Two-axis possible-worlds fold (MONTECARLO OVER @p): evaluates the
+/// num_points x num_worlds cell grid by fanning every (point,
+/// world-chunk) task out on `pool` at once, then merging chunks in world
+/// order within each point and points in index order. Point k's summaries
+/// are bit-identical to a standalone FoldWorlds over `run_world(k, .)` —
+/// the per-point seed schema is unchanged, so point k's draws match a
+/// standalone run at that valuation.
+///
+/// World 0 of every point runs up front (fanned out on `pool` when
+/// present — prepasses touch independent per-point state) to lock that
+/// point's column layout, mirroring FoldWorlds. On failure the
+/// surfaced error is the one the serial point-by-point loop would report
+/// — the lowest failing point's lowest failing world — prefixed (when the
+/// sweep has more than one point) with "sweep point k" so two-axis
+/// errors name both coordinates; a one-point sweep keeps the standalone
+/// statement's raw error byte for byte.
+Result<std::vector<std::map<std::string, OutputMetrics>>> FoldPointWorlds(
+    std::size_t num_points, std::size_t num_worlds, const RunConfig& config,
+    ThreadPool* pool, const PointWorldFn& run_world);
+
+/// Span twin of FoldPointWorlds for statically-known all-numeric layouts:
+/// per point, bit-identical to FoldWorldSpans over `run_span(k, ...)`,
+/// with the same (point, world-chunk) task fan-out and error contract.
+Result<std::vector<std::map<std::string, OutputMetrics>>>
+FoldPointWorldSpans(std::span<const std::string> column_names,
+                    std::size_t num_points, std::size_t num_worlds,
+                    const RunConfig& config, ThreadPool* pool,
+                    const PointWorldSpanFn& run_span);
+
+namespace internal {
+/// Test hook: when nonzero, overrides the staged-doubles budget that
+/// bounds how many sweep points the chunk-grid fold keeps in flight,
+/// forcing multi-window execution at unit-test sizes. Not synchronized —
+/// set it before any fold runs and restore it after.
+extern std::size_t g_fold_staged_budget_override;
+}  // namespace internal
+
 struct MonteCarloResult {
   /// Per-output-column distribution summaries, keyed by column name.
   /// Only columns that are numeric in world 0 appear.
@@ -107,6 +166,20 @@ class MonteCarloExecutor {
   /// programs are all-numeric by construction.
   Result<MonteCarloResult> RunSpans(std::span<const std::string> column_names,
                                     const WorldSpanFn& run_span);
+
+  /// Sweep twin of Run (MONTECARLO OVER @p): evaluates the plan at every
+  /// valuation, fanning (point, world-chunk) tasks out across the shared
+  /// pool via FoldPointWorlds. Entry k is bit-identical to a standalone
+  /// Run at valuations[k] — same seed vector for every point.
+  Result<std::vector<MonteCarloResult>> RunSweep(
+      const PlanFactory& make_plan,
+      std::span<const std::vector<double>> valuations);
+
+  /// Sweep twin of RunSpans: entry k is bit-identical to a standalone
+  /// RunSpans over `run_span(k, ...)`.
+  Result<std::vector<MonteCarloResult>> RunSweepSpans(
+      std::span<const std::string> column_names, std::size_t num_points,
+      const PointWorldSpanFn& run_span);
 
   const SeedVector& seeds() const { return seeds_; }
   const RunConfig& config() const { return config_; }

@@ -14,7 +14,8 @@
 ///     GROUP BY p, ...
 ///     FOR MAX @p1, MIN @p2;                                 -- Figure 1
 ///   GRAPH OVER @p EXPECT col WITH style..., ...;            -- Section 2.2
-///   MONTECARLO [USING DIRECT | LAYERED];                    -- Section 2.1
+///   MONTECARLO [OVER @p [IN (v1, v2, ...) | IN lo TO hi [STEP BY s]]]
+///              [USING DIRECT | LAYERED];                    -- Section 2.1
 
 #include <memory>
 #include <optional>
@@ -129,12 +130,27 @@ struct GraphStmt {
   std::vector<GraphSeriesAst> series;
 };
 
-/// MONTECARLO [USING DIRECT | LAYERED]: evaluates the scenario SELECT at
-/// one parameter valuation through the possible-worlds executor and
-/// reports full per-column distribution summaries (Section 2.1's sampled
-/// databases, as opposed to the fingerprint-reusing sweep).
+/// OVER clause of a MONTECARLO statement: the swept parameter plus its
+/// point list. Exactly one of `values` / `range` is set when an IN
+/// clause was written; with neither, the sweep covers the parameter's
+/// declared domain.
+struct MonteCarloSweepAst {
+  std::string param;
+  std::optional<SetSpecAst> values;   ///< IN (v1, v2, ...)
+  std::optional<RangeSpecAst> range;  ///< IN lo TO hi [STEP BY s]
+};
+
+/// MONTECARLO [OVER @p [IN ...]] [USING DIRECT | LAYERED]: evaluates the
+/// scenario SELECT through the possible-worlds executor and reports full
+/// per-column distribution summaries (Section 2.1's sampled databases,
+/// as opposed to the fingerprint-reusing sweep). With an OVER clause the
+/// estimate is produced at every point of the swept parameter — the
+/// optimization workflow's "compare the output distribution at each
+/// candidate setting" — fanning out across both points and worlds while
+/// staying bit-identical to one standalone MONTECARLO per point.
 struct MonteCarloStmt {
   bool layered = false;  ///< USING LAYERED routes through LayeredEngine
+  std::optional<MonteCarloSweepAst> over;
 };
 
 struct Statement {

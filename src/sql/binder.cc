@@ -1,5 +1,7 @@
 #include "sql/binder.h"
 
+#include <cmath>
+
 #include "sql/parser.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -574,16 +576,93 @@ Result<BoundScript> Binder::Bind(const Script& script) {
     bound.optimize = std::move(spec);
   }
 
-  // Pass 5: MONTECARLO. Nothing to resolve beyond uniqueness — the
-  // statement runs the already-compiled row program; a CHAIN scenario is
-  // fine (the chain parameter is frozen at its anchor value, the same
-  // convention the synthesized estimator uses).
+  // Pass 5: MONTECARLO. The statement runs the already-compiled row
+  // program; a CHAIN scenario is fine (the chain parameter is frozen at
+  // its anchor value, the same convention the synthesized estimator
+  // uses). An OVER clause resolves its parameter and materializes the
+  // sweep points here so execution never sees an unbound, empty,
+  // non-finite or absurdly large sweep.
+  constexpr double kMaxSweepPoints = 1e6;
   for (const auto& stmt : script.statements) {
     if (!stmt.montecarlo) continue;
     if (bound.montecarlo) {
       return Status::BindError("multiple MONTECARLO statements");
     }
-    bound.montecarlo = MonteCarloSpec{stmt.montecarlo->layered};
+    MonteCarloSpec spec;
+    spec.layered = stmt.montecarlo->layered;
+    if (stmt.montecarlo->over) {
+      const MonteCarloSweepAst& over = *stmt.montecarlo->over;
+      MonteCarloSweepSpec sweep;
+      auto pidx = bound.scenario.params.IndexOf(over.param);
+      if (!pidx) {
+        return Status::BindError(
+            "MONTECARLO OVER references undeclared '@" + over.param + "'");
+      }
+      sweep.param_index = *pidx;
+      sweep.param_name = bound.scenario.params.def(*pidx).name;
+      if (over.values) {
+        sweep.points = over.values->values;
+      } else if (over.range) {
+        if (over.range->step <= 0.0) {
+          return Status::BindError("MONTECARLO OVER '@" + over.param +
+                                   "' has non-positive STEP");
+        }
+        // Unlike DECLARE, this range never passes ParameterSpace::Add, so
+        // guard the expansion here: a non-finite bound would spin the
+        // materialization loop forever, and a huge span would OOM the
+        // binder before execution ever starts.
+        if (!std::isfinite(over.range->lo) ||
+            !std::isfinite(over.range->hi) ||
+            !std::isfinite(over.range->step)) {
+          return Status::BindError("MONTECARLO OVER '@" + over.param +
+                                   "' range bounds must be finite");
+        }
+        if ((over.range->hi - over.range->lo) / over.range->step >=
+            kMaxSweepPoints) {
+          return Status::BindError("MONTECARLO OVER '@" + over.param +
+                                   "' sweeps more than 1000000 points");
+        }
+        ParameterDef expand;
+        expand.domain =
+            RangeDomain{over.range->lo, over.range->hi, over.range->step};
+        sweep.points = expand.Values();
+      } else {
+        // Bare OVER @p: sweep the parameter's declared domain (empty for
+        // CHAIN parameters, which have no enumerable domain). A RANGE
+        // domain's cap is checked against its span first — DECLARE
+        // accepts ranges far larger than a sweep may use, and the clean
+        // BindError must come before Values() materializes them.
+        const ParameterDef& def = bound.scenario.params.def(*pidx);
+        if (const auto* range = std::get_if<RangeDomain>(&def.domain)) {
+          if ((range->hi - range->lo) / range->step >= kMaxSweepPoints) {
+            return Status::BindError("MONTECARLO OVER '@" + over.param +
+                                     "' sweeps more than 1000000 points");
+          }
+        }
+        sweep.points = def.Values();
+      }
+      if (sweep.points.empty()) {
+        return Status::BindError("MONTECARLO OVER '@" + over.param +
+                                 "' sweeps an empty point list");
+      }
+      // Uniform across all three forms — the range pre-checks above only
+      // guard the expansion itself. A bare OVER of a huge declared
+      // domain must hit the same cap, and an overflowed IN-list literal
+      // or non-finite declared SET value must not reach execution as
+      // @p = inf.
+      if (sweep.points.size() >= kMaxSweepPoints) {
+        return Status::BindError("MONTECARLO OVER '@" + over.param +
+                                 "' sweeps more than 1000000 points");
+      }
+      for (double v : sweep.points) {
+        if (!std::isfinite(v)) {
+          return Status::BindError("MONTECARLO OVER '@" + over.param +
+                                   "' has a non-finite point value");
+        }
+      }
+      spec.over = std::move(sweep);
+    }
+    bound.montecarlo = std::move(spec);
   }
 
   // Pass 6: GRAPH.

@@ -88,11 +88,23 @@ struct RowProgram {
 std::shared_ptr<const RowProgram> WithoutBatchProgram(
     const RowProgram& program);
 
+/// Bound OVER clause of a MONTECARLO statement: the swept parameter
+/// (resolved to its index) plus the materialized point values — an
+/// explicit IN list, an expanded IN range, or the parameter's declared
+/// domain. Never empty: an empty sweep is a bind error.
+struct MonteCarloSweepSpec {
+  std::size_t param_index = 0;
+  std::string param_name;
+  std::vector<double> points;
+};
+
 /// MONTECARLO statement: run the scenario's row program through the
-/// possible-worlds executor at a single valuation — the direct
-/// MonteCarloExecutor or (USING LAYERED) the layered prototype engine.
+/// possible-worlds executor — the direct MonteCarloExecutor or (USING
+/// LAYERED) the layered prototype engine — at a single valuation, or
+/// with `over` at every point of the swept parameter.
 struct MonteCarloSpec {
   bool layered = false;
+  std::optional<MonteCarloSweepSpec> over;
 };
 
 struct BoundScript {

@@ -171,7 +171,7 @@ class Parser {
     }
     if (PeekKeyword("MONTECARLO")) {
       JIGSAW_ASSIGN_OR_RETURN(auto m, ParseMonteCarlo());
-      stmt.montecarlo = std::make_unique<MonteCarloStmt>(m);
+      stmt.montecarlo = std::make_unique<MonteCarloStmt>(std::move(m));
       return stmt;
     }
     return Error("expected DECLARE, SELECT, OPTIMIZE, GRAPH or MONTECARLO");
@@ -370,6 +370,32 @@ class Parser {
   Result<MonteCarloStmt> ParseMonteCarlo() {
     JIGSAW_RETURN_IF_ERROR(ExpectKeyword("MONTECARLO"));
     MonteCarloStmt mc;
+    if (AcceptKeyword("OVER")) {
+      MonteCarloSweepAst over;
+      JIGSAW_ASSIGN_OR_RETURN(over.param, ExpectParam());
+      if (AcceptKeyword("IN")) {
+        if (AcceptSymbol("(")) {
+          SetSpecAst set;
+          do {
+            JIGSAW_ASSIGN_OR_RETURN(double v, ExpectNumber());
+            set.values.push_back(v);
+          } while (AcceptSymbol(","));
+          JIGSAW_RETURN_IF_ERROR(ExpectSymbol(")"));
+          over.values = std::move(set);
+        } else {
+          RangeSpecAst range;
+          JIGSAW_ASSIGN_OR_RETURN(range.lo, ExpectNumber());
+          JIGSAW_RETURN_IF_ERROR(ExpectKeyword("TO"));
+          JIGSAW_ASSIGN_OR_RETURN(range.hi, ExpectNumber());
+          if (AcceptKeyword("STEP")) {
+            JIGSAW_RETURN_IF_ERROR(ExpectKeyword("BY"));
+            JIGSAW_ASSIGN_OR_RETURN(range.step, ExpectNumber());
+          }
+          over.range = range;
+        }
+      }
+      mc.over = std::move(over);
+    }
     if (AcceptKeyword("USING")) {
       if (AcceptKeyword("LAYERED")) {
         mc.layered = true;

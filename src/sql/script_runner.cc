@@ -82,12 +82,41 @@ std::string ScriptOutcome::Report() const {
                      graph->spec.series.size());
   }
   if (montecarlo) {
-    out += StrFormat("MONTECARLO (%s engine, %zu worlds, %zu thread%s):\n",
-                     montecarlo->layered ? "layered" : "direct",
-                     montecarlo->worlds, montecarlo->num_threads,
-                     montecarlo->num_threads == 1 ? "" : "s");
-    for (const auto& [name, metrics] : montecarlo->columns) {
-      out += "  " + name + " " + metrics.ToString() + "\n";
+    if (!montecarlo->sweep_param.empty()) {
+      out += StrFormat(
+          "MONTECARLO OVER @%s (%s engine, %zu points x %zu worlds, %zu "
+          "thread%s):\n",
+          montecarlo->sweep_param.c_str(),
+          montecarlo->layered ? "layered" : "direct",
+          montecarlo->points.size(), montecarlo->worlds,
+          montecarlo->num_threads, montecarlo->num_threads == 1 ? "" : "s");
+      const MonteCarloPoint* prev = nullptr;
+      for (const auto& point : montecarlo->points) {
+        out += StrFormat("  @%s = %s:\n", montecarlo->sweep_param.c_str(),
+                         DoubleToString(point.value).c_str());
+        for (const auto& [name, metrics] : point.columns) {
+          out += "    " + name + " " + metrics.ToString();
+          // Point-vs-point deltas: how the column's expectation moved
+          // relative to the previous sweep point.
+          if (prev != nullptr) {
+            auto it = prev->columns.find(name);
+            if (it != prev->columns.end()) {
+              out += StrFormat(" (dmean %+g vs prev point)",
+                               metrics.mean - it->second.mean);
+            }
+          }
+          out += "\n";
+        }
+        prev = &point;
+      }
+    } else {
+      out += StrFormat("MONTECARLO (%s engine, %zu worlds, %zu thread%s):\n",
+                       montecarlo->layered ? "layered" : "direct",
+                       montecarlo->worlds, montecarlo->num_threads,
+                       montecarlo->num_threads == 1 ? "" : "s");
+      for (const auto& [name, metrics] : montecarlo->columns) {
+        out += "  " + name + " " + metrics.ToString() + "\n";
+      }
     }
   }
   out += StrFormat(
@@ -189,30 +218,70 @@ Result<ScriptOutcome> ScriptRunner::Run(
     mc.layered = bound.montecarlo->layered;
     mc.worlds = config_.num_samples;
     mc.num_threads = std::max<std::size_t>(1, config_.num_threads);
+
+    // The standalone statement is the one-point case of the sweep: OVER
+    // @p pins the swept parameter to each point value on top of the base
+    // valuation (overrides still fix the other parameters), and every
+    // point runs with the standalone statement's seed schema — point k's
+    // draws are identical to a standalone MONTECARLO at that valuation,
+    // and a one-point "sweep" keeps standalone error messages verbatim
+    // (the sweep folds only name points past one).
+    std::vector<std::vector<double>> valuations;
+    if (bound.montecarlo->over) {
+      const MonteCarloSweepSpec& sweep = *bound.montecarlo->over;
+      mc.sweep_param = sweep.param_name;
+      valuations.reserve(sweep.points.size());
+      for (double v : sweep.points) {
+        valuations.push_back(valuation);
+        valuations.back()[sweep.param_index] = v;
+      }
+    } else {
+      valuations.push_back(valuation);
+    }
+
+    std::vector<std::map<std::string, OutputMetrics>> per_point;
     if (bound.montecarlo->layered) {
+      // Layered path: the prototype's per-point executors, worlds fanned
+      // out within each point, WorldCache shared across points.
       pdb::LayeredEngine engine(config_);
-      JIGSAW_ASSIGN_OR_RETURN(pdb::LayeredPointResult point,
-                              engine.RunPoint(factory, valuation));
-      mc.columns = std::move(point.columns);
+      JIGSAW_ASSIGN_OR_RETURN(auto results,
+                              engine.RunSweep(factory, valuations));
+      for (auto& r : results) per_point.push_back(std::move(r.columns));
     } else if (program->compiled()) {
-      // Compiled fast path: whole world chunks evaluate inside
-      // FoldWorldSpans with one BatchProgram execution per task.
+      // Compiled fast path: the two-axis fan-out — every (point,
+      // world-chunk) cell is one BatchProgram execution, all cells
+      // spread across the shared pool at once. The single compiled
+      // program is reused by every point; only ctx.params varies.
       pdb::MonteCarloExecutor executor(config_);
       const SeedVector& seeds = executor.seeds();
-      auto run_span = [&](std::size_t begin, std::size_t count,
+      auto run_span = [&](std::size_t point, std::size_t begin,
+                          std::size_t count,
                           std::span<double* const> columns) {
-        return program->EvalAllColumnsSpan(valuation, begin, count, seeds,
-                                           /*stream_salt=*/0, columns);
+        return program->EvalAllColumnsSpan(valuations[point], begin, count,
+                                           seeds, /*stream_salt=*/0,
+                                           columns);
       };
       JIGSAW_ASSIGN_OR_RETURN(
-          pdb::MonteCarloResult result,
-          executor.RunSpans(program->outer_names, run_span));
-      mc.columns = std::move(result.columns);
+          auto results,
+          executor.RunSweepSpans(program->outer_names, valuations.size(),
+                                 run_span));
+      for (auto& r : results) per_point.push_back(std::move(r.columns));
     } else {
+      // Interpreter twin: same cell grid, one boxed plan per world.
       pdb::MonteCarloExecutor executor(config_);
-      JIGSAW_ASSIGN_OR_RETURN(pdb::MonteCarloResult result,
-                              executor.Run(factory, valuation));
-      mc.columns = std::move(result.columns);
+      JIGSAW_ASSIGN_OR_RETURN(auto results,
+                              executor.RunSweep(factory, valuations));
+      for (auto& r : results) per_point.push_back(std::move(r.columns));
+    }
+
+    if (bound.montecarlo->over) {
+      mc.points.reserve(per_point.size());
+      for (std::size_t k = 0; k < per_point.size(); ++k) {
+        mc.points.push_back(MonteCarloPoint{
+            bound.montecarlo->over->points[k], std::move(per_point[k])});
+      }
+    } else {
+      mc.columns = std::move(per_point[0]);
     }
     outcome.montecarlo = std::move(mc);
   }

@@ -33,13 +33,24 @@ struct GraphData {
   std::vector<GraphPoint> points;
 };
 
-/// Result of a MONTECARLO statement: full per-column distribution
-/// summaries over the sampled possible worlds at one valuation.
-struct MonteCarloOutcome {
+/// One point of a MONTECARLO OVER sweep: the swept parameter's value and
+/// the per-column summaries at that valuation — bit-identical to a
+/// standalone MONTECARLO run with the parameter pinned to `value`.
+struct MonteCarloPoint {
+  double value = 0.0;
   std::map<std::string, OutputMetrics> columns;
+};
+
+/// Result of a MONTECARLO statement: full per-column distribution
+/// summaries over the sampled possible worlds — at one valuation, or
+/// (OVER @p) one summary table per sweep point.
+struct MonteCarloOutcome {
+  std::map<std::string, OutputMetrics> columns;  ///< single-valuation run
   std::size_t worlds = 0;
   std::size_t num_threads = 1;  ///< worker threads the worlds fanned over
   bool layered = false;         ///< true if run through LayeredEngine
+  std::string sweep_param;      ///< OVER parameter name ("" if no sweep)
+  std::vector<MonteCarloPoint> points;  ///< one per OVER point, in order
 };
 
 struct ScriptOutcome {

@@ -13,6 +13,7 @@
 
 #include "core/fingerprint.h"
 #include "core/parameter_space.h"
+#include "grid_test_util.h"
 #include "core/sim_runner.h"
 #include "markov/chain_runner.h"
 #include "markov/markov_models.h"
@@ -209,30 +210,26 @@ void ExpectGridIdentical(const RunConfig& base_cfg, const SimFunction& fn,
   SimulationRunner reference(ref_cfg);
   const auto expected = reference.RunSweep(fn, space);
 
-  for (std::size_t batch : {1u, 7u, 64u}) {
-    for (std::size_t threads : {1u, 2u, 8u}) {
-      RunConfig cfg = base_cfg;
-      cfg.batch_size = batch;
-      cfg.num_threads = threads;
-      SimulationRunner runner(cfg);
-      const auto got = runner.RunSweep(fn, space);
+  test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+    RunConfig cfg = base_cfg;
+    cfg.batch_size = batch;
+    cfg.num_threads = threads;
+    SimulationRunner runner(cfg);
+    const auto got = runner.RunSweep(fn, space);
 
-      ASSERT_EQ(got.size(), expected.size());
-      for (std::size_t i = 0; i < got.size(); ++i) {
-        SCOPED_TRACE(::testing::Message() << "batch " << batch << ", "
-                                          << threads << " threads, point "
-                                          << i);
-        EXPECT_EQ(got[i].reused, expected[i].reused);
-        EXPECT_EQ(got[i].basis_id, expected[i].basis_id);
-        ExpectBitIdenticalMetrics(got[i].metrics, expected[i].metrics);
-      }
-      EXPECT_EQ(runner.stats().points_reused,
-                reference.stats().points_reused);
-      EXPECT_EQ(runner.stats().blackbox_invocations,
-                reference.stats().blackbox_invocations);
-      EXPECT_EQ(runner.basis_store().size(), reference.basis_store().size());
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE(::testing::Message() << "point " << i);
+      EXPECT_EQ(got[i].reused, expected[i].reused);
+      EXPECT_EQ(got[i].basis_id, expected[i].basis_id);
+      ExpectBitIdenticalMetrics(got[i].metrics, expected[i].metrics);
     }
-  }
+    EXPECT_EQ(runner.stats().points_reused,
+              reference.stats().points_reused);
+    EXPECT_EQ(runner.stats().blackbox_invocations,
+              reference.stats().blackbox_invocations);
+    EXPECT_EQ(runner.basis_store().size(), reference.basis_store().size());
+  });
 }
 
 TEST(BatchGridTest, FingerprintSweepBitIdentical) {

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 
 #include "core/optimizer.h"
 #include "core/parameter_space.h"
@@ -69,6 +70,22 @@ TEST(ParameterSpaceTest, RejectsDuplicatesAndBadDomains) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(space.Add({"d", SetDomain{{}}}).code(),
             StatusCode::kInvalidArgument);
+  // Values() materializes the grid into a vector, so Add must bound it:
+  // non-finite bounds and absurd spans fail cleanly at declaration.
+  EXPECT_EQ(space.Add({"e", RangeDomain{
+                               0, std::numeric_limits<double>::infinity(),
+                               1}})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(space.Add({"f", RangeDomain{0, 1e30, 1}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParameterSpaceTest, DegenerateHighMagnitudeRangeTerminates) {
+  // lo + step rounds back to lo at this magnitude; the index-stepped
+  // expansion must still produce exactly the points the span implies.
+  ParameterDef def{"w", RangeDomain{1e16, 1e16, 1}};
+  EXPECT_EQ(def.Values(), (std::vector<double>{1e16}));
 }
 
 TEST(ParameterSpaceTest, IndexOfIsCaseInsensitive) {

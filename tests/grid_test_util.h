@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file grid_test_util.h
+/// The acceptance grid every parallel/batched surface is verified on:
+/// batch sizes {1, 7, 64} x thread counts {1, 2, 8}. The suites that
+/// claim "bit-identical at every (num_threads, batch_size) combination"
+/// (pdb_test, sql_test, batched_sampling_test) all walk this one grid so
+/// a new surface cannot quietly test a narrower one.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+
+namespace jigsaw::test {
+
+/// Batch sizes covering the degenerate (1), straddling-remainder (7) and
+/// default (64) chunkings.
+inline constexpr std::array<std::size_t, 3> kGridBatchSizes = {1u, 7u, 64u};
+
+/// Thread counts covering serial (1), minimal contention (2) and
+/// oversubscription (8; the dev container may have fewer cores).
+inline constexpr std::array<std::size_t, 3> kGridThreadCounts = {1u, 2u, 8u};
+
+/// Parallel-only thread counts, for tests whose reference IS the
+/// single-threaded run.
+inline constexpr std::array<std::size_t, 2> kGridParallelThreadCounts = {2u,
+                                                                        8u};
+
+inline const std::array<std::size_t, 3>& GridBatchSizes() {
+  return kGridBatchSizes;
+}
+inline const std::array<std::size_t, 3>& GridThreadCounts() {
+  return kGridThreadCounts;
+}
+inline const std::array<std::size_t, 2>& GridParallelThreadCounts() {
+  return kGridParallelThreadCounts;
+}
+
+/// Invokes fn(threads, batch) at every grid point, each call wrapped in a
+/// SCOPED_TRACE naming the coordinates.
+template <typename Fn>
+void ForEachGridPoint(Fn&& fn) {
+  for (std::size_t threads : GridThreadCounts()) {
+    for (std::size_t batch : GridBatchSizes()) {
+      SCOPED_TRACE(::testing::Message()
+                   << "threads=" << threads << " batch=" << batch);
+      fn(threads, batch);
+    }
+  }
+}
+
+/// Grid walk without threads=1, for suites that diff against the serial
+/// run itself.
+template <typename Fn>
+void ForEachParallelGridPoint(Fn&& fn) {
+  for (std::size_t threads : GridParallelThreadCounts()) {
+    for (std::size_t batch : GridBatchSizes()) {
+      SCOPED_TRACE(::testing::Message()
+                   << "threads=" << threads << " batch=" << batch);
+      fn(threads, batch);
+    }
+  }
+}
+
+/// Batch-axis walk at a fixed thread count (the chain runner and other
+/// serial-only surfaces still verify every chunking).
+template <typename Fn>
+void ForEachGridBatch(Fn&& fn) {
+  for (std::size_t batch : GridBatchSizes()) {
+    SCOPED_TRACE(::testing::Message() << "batch=" << batch);
+    fn(batch);
+  }
+}
+
+}  // namespace jigsaw::test

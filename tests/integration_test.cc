@@ -10,6 +10,7 @@
 
 #include "core/optimizer.h"
 #include "core/sim_runner.h"
+#include "interactive/interactive_session.h"
 #include "models/cloud_models.h"
 #include "sql/chain_process.h"
 #include "sql/script_runner.h"
@@ -177,6 +178,55 @@ INTO results;
   // Release week settles near the crossing (~20) + 4 lead weeks.
   EXPECT_NEAR(naive.value().mean, jump.value().mean, 1.5);
   EXPECT_LT(jump_stats.step_invocations, naive_stats.step_invocations);
+}
+
+TEST(IntegrationTest, MonteCarloSweepPrimesInteractiveSession) {
+  // MONTECARLO OVER @w -> InteractiveSession: the sweep's per-point
+  // summaries prime the session's point states, so every swept point is
+  // addressable (with the sweep's full support) from the very first tick.
+  // The sweep's world ids are the session's sample ids — same master
+  // seed, same scenario column — so ticks validate the imported draws
+  // instead of rebinding.
+  ModelRegistry registry;
+  ASSERT_TRUE(RegisterCloudModels(&registry).ok());
+  const char* kScript = R"(
+DECLARE PARAMETER @w AS RANGE 10 TO 14 STEP BY 1;
+SELECT DemandModel(@w, 52) AS demand INTO r;
+MONTECARLO OVER @w;
+)";
+  RunConfig cfg;
+  cfg.num_samples = 80;
+  cfg.num_threads = 2;
+  cfg.keep_samples = true;
+  sql::ScriptRunner runner(&registry, cfg);
+  auto outcome = runner.Run(kScript);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const auto& mc = outcome.value().montecarlo;
+  ASSERT_TRUE(mc.has_value());
+  ASSERT_EQ(mc->points.size(), 5u);
+
+  InteractiveConfig icfg;
+  icfg.run = cfg;
+  ParameterSpace space = outcome.value().bound.scenario.params;
+  InteractiveSession session(outcome.value().bound.scenario.columns[0].fn,
+                             space, icfg);
+  for (std::size_t point = 0; point < mc->points.size(); ++point) {
+    ASSERT_TRUE(
+        session.PrimeFromSweep(point,
+                               mc->points[point].columns.at("demand"))
+            .ok());
+    const DisplayEstimate est = session.EstimateFor(point);
+    ASSERT_TRUE(est.available) << "point " << point;
+    EXPECT_EQ(est.support, 80);
+    EXPECT_NEAR(est.mean, mc->points[point].columns.at("demand").mean,
+                1e-9);
+  }
+  // Ticks refine on top: the imported draws are the session's own, so no
+  // validation failure ever rebinds a primed point.
+  ASSERT_TRUE(session.SetFocus(2).ok());
+  session.Run(50);
+  EXPECT_EQ(session.stats().rebinds, 0u);
+  EXPECT_GE(session.EstimateFor(2).support, 80);
 }
 
 }  // namespace

@@ -178,6 +178,105 @@ TEST(InteractiveTest, SetFocusValidatesRange) {
   EXPECT_EQ(session.SetFocus(10000).code(), StatusCode::kOutOfRange);
 }
 
+TEST(InteractiveTest, PrimeFromSweepServesEstimateBeforeAnyTick) {
+  // A MONTECARLO OVER sweep's per-point summaries (keep_samples, same
+  // master seed) are addressable from the session: priming a point makes
+  // its estimate available with the sweep's full support, bit-identical
+  // to the sweep's own accumulator, before a single tick has run.
+  const InteractiveConfig cfg = SmallConfig();
+  auto fn = DemandFn();
+  const ParameterSpace space = DemandSpace();
+  const std::size_t kPoint = 9;  // week 10
+  const std::size_t kWorlds = 120;
+
+  // Stand-in for one sweep point's output: sample k from seed sigma_k at
+  // the point's valuation — exactly what the possible-worlds executor
+  // evaluates for world k.
+  const SeedVector seeds(cfg.run.master_seed, kWorlds);
+  const auto valuation = space.ValuationAt(kPoint);
+  std::vector<double> samples;
+  for (std::size_t k = 0; k < kWorlds; ++k) {
+    samples.push_back(fn->Sample(valuation, k, seeds));
+  }
+  const OutputMetrics metrics =
+      MetricsFromSamples(samples, /*keep_samples=*/true, 20);
+
+  InteractiveSession session(fn, space, cfg);
+  EXPECT_FALSE(session.EstimateFor(kPoint).available);
+  ASSERT_TRUE(session.PrimeFromSweep(kPoint, metrics).ok());
+
+  const DisplayEstimate primed = session.EstimateFor(kPoint);
+  ASSERT_TRUE(primed.available);
+  EXPECT_EQ(primed.support, static_cast<std::int64_t>(kWorlds));
+  WelfordAccumulator acc;
+  acc.AddSpan(samples);
+  EXPECT_EQ(primed.mean, acc.mean());
+  EXPECT_EQ(primed.std_error, acc.standard_error());
+
+  // Ticks build on the primed state: the imported values are the fn's own
+  // draws, so validation never rebinds, and refinement keeps growing the
+  // support.
+  ASSERT_TRUE(session.SetFocus(kPoint).ok());
+  session.Run(100);
+  EXPECT_EQ(session.stats().rebinds, 0u);
+  EXPECT_GE(session.EstimateFor(kPoint).support,
+            static_cast<std::int64_t>(kWorlds));
+}
+
+TEST(InteractiveTest, PrimeFromSweepRefinesAnAlreadyBoundPoint) {
+  // Priming a point that ticks have already bound must not discard the
+  // sweep data: imported ids the basis lacks refine it through the same
+  // fold a refinement tick uses, so the support grows to the sweep's.
+  const InteractiveConfig cfg = SmallConfig();
+  auto fn = DemandFn();
+  const ParameterSpace space = DemandSpace();
+  const std::size_t kPoint = 4;
+  const std::size_t kWorlds = 200;
+
+  InteractiveSession session(fn, space, cfg);
+  ASSERT_TRUE(session.SetFocus(kPoint).ok());
+  session.Run(3);  // bind with a handful of tick batches
+  const DisplayEstimate before = session.EstimateFor(kPoint);
+  ASSERT_TRUE(before.available);
+  ASSERT_LT(before.support, static_cast<std::int64_t>(kWorlds));
+
+  const SeedVector seeds(cfg.run.master_seed, kWorlds);
+  const auto valuation = space.ValuationAt(kPoint);
+  std::vector<double> samples;
+  for (std::size_t k = 0; k < kWorlds; ++k) {
+    samples.push_back(fn->Sample(valuation, k, seeds));
+  }
+  ASSERT_TRUE(
+      session
+          .PrimeFromSweep(kPoint, MetricsFromSamples(samples, true, 20))
+          .ok());
+  // Own draws agree with the mapping, so nothing rebinds and every
+  // imported id now backs the estimate.
+  EXPECT_EQ(session.stats().rebinds, 0u);
+  EXPECT_EQ(session.EstimateFor(kPoint).support,
+            static_cast<std::int64_t>(kWorlds));
+}
+
+TEST(InteractiveTest, PrimeFromSweepValidatesInput) {
+  InteractiveSession session(DemandFn(), DemandSpace(), SmallConfig());
+  OutputMetrics no_samples;
+  no_samples.count = 10;  // summaries alone are not addressable state
+  EXPECT_EQ(session.PrimeFromSweep(0, no_samples).code(),
+            StatusCode::kInvalidArgument);
+  OutputMetrics with_samples;
+  with_samples.samples = {1.0, 2.0};
+  EXPECT_EQ(session.PrimeFromSweep(10000, with_samples).code(),
+            StatusCode::kOutOfRange);
+
+  // More retained samples than the session has sample ids for must fail
+  // loudly rather than silently import a prefix.
+  OutputMetrics oversized;
+  oversized.samples.assign(SmallConfig().max_samples + 1, 1.0);
+  const Status s = session.PrimeFromSweep(0, oversized);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("max_samples"), std::string::npos);
+}
+
 TEST(InteractiveTest, StatsCountEvaluations) {
   InteractiveSession session(DemandFn(), DemandSpace(), SmallConfig());
   ASSERT_TRUE(session.SetFocus(3).ok());

@@ -13,6 +13,7 @@
 
 #include <span>
 
+#include "grid_test_util.h"
 #include "models/cloud_models.h"
 #include "pdb/batch_program.h"
 #include "pdb/expr.h"
@@ -333,7 +334,7 @@ TEST(BatchProgramTest, BitIdenticalToInterpreterAcrossBatchGrid) {
   SeedVector seeds(0xFEED, kSamples);
   const std::vector<double> params = {2.5};
   for (std::uint64_t salt : {std::uint64_t{0}, std::uint64_t{77}}) {
-    for (std::size_t batch : {1u, 7u, 64u}) {
+    for (std::size_t batch : test::GridBatchSizes()) {
       SCOPED_TRACE(testing::Message() << "salt=" << salt
                                       << " batch=" << batch);
       for (std::size_t j = 0; j < outer.size(); ++j) {
@@ -913,21 +914,15 @@ TEST(MonteCarloParallelTest, BitIdenticalAcrossThreadsAndBatches) {
   ASSERT_TRUE(reference.ok()) << reference.status().ToString();
   ASSERT_EQ(reference.value().columns.size(), 2u);
 
-  for (std::size_t threads : {1u, 2u, 8u}) {
-    for (std::size_t batch : {1u, 7u, 64u}) {
-      RunConfig cfg = base;
-      cfg.num_threads = threads;
-      cfg.batch_size = batch;
-      MonteCarloExecutor executor(cfg);
-      auto result = executor.Run(TwoColumnFactory(demand, capacity), params);
-      ASSERT_TRUE(result.ok())
-          << "threads=" << threads << " batch=" << batch << ": "
-          << result.status().ToString();
-      SCOPED_TRACE(testing::Message()
-                   << "threads=" << threads << " batch=" << batch);
-      ExpectResultsBitIdentical(reference.value(), result.value());
-    }
-  }
+  test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+    RunConfig cfg = base;
+    cfg.num_threads = threads;
+    cfg.batch_size = batch;
+    MonteCarloExecutor executor(cfg);
+    auto result = executor.Run(TwoColumnFactory(demand, capacity), params);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectResultsBitIdentical(reference.value(), result.value());
+  });
 }
 
 TEST(MonteCarloParallelTest, SharedWorldCacheIsDeterministic) {
@@ -962,13 +957,10 @@ TEST(MonteCarloParallelTest, SharedWorldCacheIsDeterministic) {
   };
 
   const MonteCarloResult reference = run(1, 64);
-  for (std::size_t threads : {2u, 8u}) {
-    for (std::size_t batch : {1u, 7u}) {
-      SCOPED_TRACE(testing::Message()
-                   << "threads=" << threads << " batch=" << batch);
-      ExpectResultsBitIdentical(reference, run(threads, batch));
-    }
-  }
+  test::ForEachParallelGridPoint([&](std::size_t threads,
+                                     std::size_t batch) {
+    ExpectResultsBitIdentical(reference, run(threads, batch));
+  });
 }
 
 /// Emits one row whose single column's value (and type) is produced from
@@ -1083,8 +1075,235 @@ TEST(MonteCarloParallelTest, NaNSamplesAreCountedNotUndefinedBehavior) {
 }
 
 // ---------------------------------------------------------------------------
-// Layered engine (Figure 7 stand-in)
+// Two-axis sweeps (MONTECARLO OVER): FoldPointWorlds / FoldPointWorldSpans
+// must reproduce N standalone single-point folds bit-for-bit at every
+// points x batch x threads grid cell, and name both coordinates on error.
 // ---------------------------------------------------------------------------
+
+TEST(MonteCarloSweepTest, SpanSweepBitIdenticalToPerPointFolds) {
+  const std::vector<std::string> names = {"a", "b"};
+  // Deterministic point- and world-dependent cell values.
+  auto cell_value = [](std::size_t point, std::size_t world,
+                       std::size_t slot) {
+    return static_cast<double>(point * 1000 + world * 2 + slot) * 1.25;
+  };
+  auto run_span = [&](std::size_t point, std::size_t begin,
+                      std::size_t count, std::span<double* const> columns) {
+    for (std::size_t slot = 0; slot < columns.size(); ++slot) {
+      for (std::size_t i = 0; i < count; ++i) {
+        columns[slot][i] = cell_value(point, begin + i, slot);
+      }
+    }
+    return Status::OK();
+  };
+
+  const std::size_t kWorlds = 83;  // not a multiple of any grid batch
+  for (std::size_t npoints : {1u, 3u, 9u}) {
+    // Reference: one standalone FoldWorldSpans per point, serial.
+    RunConfig ref_cfg;
+    ref_cfg.batch_size = 64;
+    ref_cfg.keep_samples = true;
+    std::vector<std::map<std::string, OutputMetrics>> expected;
+    for (std::size_t point = 0; point < npoints; ++point) {
+      auto standalone = FoldWorldSpans(
+          names, kWorlds, ref_cfg, nullptr,
+          [&](std::size_t begin, std::size_t count,
+              std::span<double* const> columns) {
+            return run_span(point, begin, count, columns);
+          });
+      ASSERT_TRUE(standalone.ok()) << standalone.status().ToString();
+      expected.push_back(std::move(standalone).value());
+    }
+
+    test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+      SCOPED_TRACE(testing::Message() << "points=" << npoints);
+      RunConfig cfg;
+      cfg.batch_size = batch;
+      cfg.keep_samples = true;
+      ThreadPool pool(threads);
+      auto sweep =
+          FoldPointWorldSpans(names, npoints, kWorlds, cfg,
+                              threads > 1 ? &pool : nullptr, run_span);
+      ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+      ASSERT_EQ(sweep.value().size(), npoints);
+      for (std::size_t point = 0; point < npoints; ++point) {
+        SCOPED_TRACE(testing::Message() << "point " << point);
+        ASSERT_EQ(sweep.value()[point].size(), names.size());
+        for (const auto& [name, metrics] : expected[point]) {
+          ExpectMetricsBitIdentical(metrics,
+                                    sweep.value()[point].at(name));
+        }
+      }
+    });
+  }
+}
+
+TEST(MonteCarloSweepTest, WindowedStagingIsBitIdenticalAndOrdersErrors) {
+  // Shrink the staged-doubles budget until every window holds exactly one
+  // point: the streamed fold must reproduce the whole-grid results and
+  // still surface the serial loop's error, including across windows.
+  internal::g_fold_staged_budget_override = 1;  // floor: 1 point/window
+
+  const std::vector<std::string> names = {"x"};
+  auto run_span = [](std::size_t point, std::size_t begin,
+                     std::size_t count, std::span<double* const> columns) {
+    for (std::size_t i = 0; i < count; ++i) {
+      columns[0][i] = static_cast<double>(point * 100 + begin + i);
+    }
+    return Status::OK();
+  };
+  RunConfig cfg;
+  cfg.batch_size = 7;
+  ThreadPool pool(2);
+  auto windowed = FoldPointWorldSpans(names, 5, 20, cfg, &pool, run_span);
+  internal::g_fold_staged_budget_override = 0;
+  auto whole = FoldPointWorldSpans(names, 5, 20, cfg, &pool, run_span);
+  ASSERT_TRUE(windowed.ok()) << windowed.status().ToString();
+  ASSERT_TRUE(whole.ok());
+  ASSERT_EQ(windowed.value().size(), 5u);
+  for (std::size_t point = 0; point < 5; ++point) {
+    SCOPED_TRACE(testing::Message() << "point " << point);
+    ExpectMetricsBitIdentical(whole.value()[point].at("x"),
+                              windowed.value()[point].at("x"));
+  }
+
+  // An error in a late window (point 3, world 12) is surfaced with the
+  // same coordinates as the unwindowed run, serial and parallel.
+  auto failing = [](std::size_t point, std::size_t begin, std::size_t count,
+                    std::span<double* const> columns) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (point == 3 && begin + i >= 12) {
+        return Status::ExecutionError("world 12 exploded");
+      }
+      columns[0][i] = 1.0;
+    }
+    return Status::OK();
+  };
+  internal::g_fold_staged_budget_override = 1;
+  auto serial = FoldPointWorldSpans(names, 5, 20, cfg, nullptr, failing);
+  auto parallel = FoldPointWorldSpans(names, 5, 20, cfg, &pool, failing);
+  internal::g_fold_staged_budget_override = 0;
+  auto reference = FoldPointWorldSpans(names, 5, 20, cfg, nullptr, failing);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(serial.status(), parallel.status());
+  EXPECT_EQ(serial.status(), reference.status());
+  EXPECT_NE(serial.status().message().find("sweep point 3"),
+            std::string::npos);
+}
+
+TEST(MonteCarloSweepTest, ExecutorSweepBitIdenticalToStandaloneRuns) {
+  CloudModelConfig mcfg;
+  auto demand = MakeDemandModel(mcfg);
+  auto capacity = MakeCapacityModel(mcfg);
+  const std::vector<std::vector<double>> valuations = {{10.0},
+                                                       {20.0},
+                                                       {30.0}};
+
+  RunConfig base;
+  base.num_samples = 100;
+  base.keep_samples = true;
+  std::vector<MonteCarloResult> expected;
+  for (const auto& v : valuations) {
+    MonteCarloExecutor standalone(base);
+    auto r = standalone.Run(TwoColumnFactory(demand, capacity), v);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(std::move(r).value());
+  }
+
+  test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+    RunConfig cfg = base;
+    cfg.num_threads = threads;
+    cfg.batch_size = batch;
+    MonteCarloExecutor executor(cfg);
+    auto sweep =
+        executor.RunSweep(TwoColumnFactory(demand, capacity), valuations);
+    ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+    ASSERT_EQ(sweep.value().size(), valuations.size());
+    for (std::size_t point = 0; point < valuations.size(); ++point) {
+      SCOPED_TRACE(testing::Message() << "point " << point);
+      ExpectResultsBitIdentical(expected[point], sweep.value()[point]);
+    }
+  });
+}
+
+TEST(MonteCarloSweepTest, EmptySweepAxes) {
+  RunConfig cfg;
+  cfg.num_samples = 0;
+  MonteCarloExecutor executor(cfg);
+  auto no_worlds = executor.RunSweep(
+      []() -> Result<PlanNodePtr> {
+        return Status::Internal("plan factory must not run");
+      },
+      std::vector<std::vector<double>>(3));
+  ASSERT_TRUE(no_worlds.ok()) << no_worlds.status().ToString();
+  ASSERT_EQ(no_worlds.value().size(), 3u);
+  for (const auto& point : no_worlds.value()) {
+    EXPECT_TRUE(point.columns.empty());
+  }
+
+  auto no_points = executor.RunSweep(
+      []() -> Result<PlanNodePtr> {
+        return Status::Internal("plan factory must not run");
+      },
+      {});
+  ASSERT_TRUE(no_points.ok());
+  EXPECT_TRUE(no_points.value().empty());
+}
+
+TEST(MonteCarloSweepTest, TypeFlipErrorNamesPointAndWorld) {
+  // Point 2's column is numeric in world 0 but a string from world 5 on;
+  // the surfaced error must name both coordinates and be identical at
+  // every schedule. Point 0/1 stay clean, so the serial point-by-point
+  // loop reaches point 2 and reports its first flipped world.
+  auto run_world = [](std::size_t point,
+                      std::size_t world) -> Result<Table> {
+    Table t(Schema({{"x", ValueType::kDouble}}));
+    if (point == 2 && world >= 5) {
+      t.AddRow({Value(std::string("oops"))});
+    } else {
+      t.AddRow({Value(static_cast<double>(point * 100 + world))});
+    }
+    return t;
+  };
+
+  Status serial;
+  test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+    RunConfig cfg;
+    cfg.batch_size = batch;
+    ThreadPool pool(threads);
+    auto result = FoldPointWorlds(4, 40, cfg,
+                                  threads > 1 ? &pool : nullptr, run_world);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+    EXPECT_NE(result.status().message().find("sweep point 2"),
+              std::string::npos)
+        << result.status().ToString();
+    EXPECT_NE(result.status().message().find("world 5"), std::string::npos)
+        << result.status().ToString();
+    if (serial.ok()) serial = result.status();  // first grid cell is serial
+    EXPECT_EQ(serial, result.status());
+  });
+
+  // A world-0 flip surfaces as that point's layout-lock failure: the
+  // one-row check and layout live on world 0, so a point whose very first
+  // world misbehaves is named too.
+  auto flip0 = [](std::size_t point, std::size_t world) -> Result<Table> {
+    if (point == 1 && world == 0) {
+      return Status::ExecutionError("world 0 exploded");
+    }
+    Table t(Schema({{"x", ValueType::kDouble}}));
+    t.AddRow({Value(1.0)});
+    return t;
+  };
+  RunConfig cfg;
+  cfg.batch_size = 7;
+  auto result = FoldPointWorlds(3, 20, cfg, nullptr, flip0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("sweep point 1"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find("world 0 exploded"),
+            std::string::npos);
+}
 
 TEST(LayeredEngineTest, AgreesWithMonteCarloExecutor) {
   CloudModelConfig mcfg;

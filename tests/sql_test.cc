@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "grid_test_util.h"
 #include "models/cloud_models.h"
 #include "sql/binder.h"
 #include "sql/chain_process.h"
@@ -541,24 +542,21 @@ TEST_F(BinderTest, MonteCarloThreadedIsBitIdenticalToSerial) {
     return std::move(outcome).value();
   };
   const auto reference = run(1, 64);
-  for (std::size_t threads : {2u, 8u}) {
-    for (std::size_t batch : {1u, 7u, 64u}) {
-      SCOPED_TRACE(testing::Message()
-                   << "threads=" << threads << " batch=" << batch);
-      const auto parallel = run(threads, batch);
-      ASSERT_TRUE(parallel.montecarlo.has_value());
-      EXPECT_EQ(parallel.montecarlo->num_threads, threads);
-      for (const auto& [name, m] : reference.montecarlo->columns) {
-        const auto& p = parallel.montecarlo->columns.at(name);
-        EXPECT_EQ(m.mean, p.mean) << name;
-        EXPECT_EQ(m.stddev, p.stddev) << name;
-        EXPECT_EQ(m.p50, p.p50) << name;
-        EXPECT_EQ(m.p95, p.p95) << name;
-        EXPECT_EQ(m.min, p.min) << name;
-        EXPECT_EQ(m.max, p.max) << name;
-      }
+  test::ForEachParallelGridPoint([&](std::size_t threads,
+                                     std::size_t batch) {
+    const auto parallel = run(threads, batch);
+    ASSERT_TRUE(parallel.montecarlo.has_value());
+    EXPECT_EQ(parallel.montecarlo->num_threads, threads);
+    for (const auto& [name, m] : reference.montecarlo->columns) {
+      const auto& p = parallel.montecarlo->columns.at(name);
+      EXPECT_EQ(m.mean, p.mean) << name;
+      EXPECT_EQ(m.stddev, p.stddev) << name;
+      EXPECT_EQ(m.p50, p.p50) << name;
+      EXPECT_EQ(m.p95, p.p95) << name;
+      EXPECT_EQ(m.min, p.min) << name;
+      EXPECT_EQ(m.max, p.max) << name;
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -625,20 +623,15 @@ TEST_F(CompiledExprTest, MonteCarloBitIdenticalToInterpreterAcrossGrid) {
                              /*threads=*/1, /*batch=*/64);
   ASSERT_TRUE(reference.ok()) << reference.status().ToString();
   ASSERT_FALSE(reference.value().bound.program->compiled());
-  for (std::size_t threads : {1u, 2u, 8u}) {
-    for (std::size_t batch : {1u, 7u, 64u}) {
-      SCOPED_TRACE(testing::Message()
-                   << "threads=" << threads << " batch=" << batch);
-      auto compiled =
-          RunScript(kCompiledMonteCarloScript, /*compiled=*/true, threads,
-                    batch);
-      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
-      ASSERT_TRUE(compiled.value().bound.program->compiled())
-          << compiled.value().bound.program->batch_fallback_reason;
-      ExpectSameMetrics(reference.value().montecarlo->columns,
-                        compiled.value().montecarlo->columns);
-    }
-  }
+  test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+    auto compiled = RunScript(kCompiledMonteCarloScript, /*compiled=*/true,
+                              threads, batch);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    ASSERT_TRUE(compiled.value().bound.program->compiled())
+        << compiled.value().bound.program->batch_fallback_reason;
+    ExpectSameMetrics(reference.value().montecarlo->columns,
+                      compiled.value().montecarlo->columns);
+  });
 }
 
 TEST_F(CompiledExprTest, LayeredMonteCarloBitIdenticalToInterpreter) {
@@ -680,7 +673,7 @@ INTO results;
                                       use_jump, &ref_stats);
     ASSERT_TRUE(reference.ok()) << reference.status().ToString();
 
-    for (std::size_t batch : {1u, 7u, 64u}) {
+    for (std::size_t batch : test::GridBatchSizes()) {
       SCOPED_TRACE(testing::Message()
                    << "jump=" << use_jump << " batch=" << batch);
       RunConfig cfg = ref_cfg;
@@ -716,7 +709,7 @@ TEST_F(CompiledExprTest, CompiledSampleBatchMatchesScalarSample) {
   SeedVector seeds(0x5EED, kSamples);
   const auto valuation = bound.value().scenario.params.ValuationAt(3);
   for (const auto& col : bound.value().scenario.columns) {
-    for (std::size_t batch : {1u, 7u, 64u}) {
+    for (std::size_t batch : test::GridBatchSizes()) {
       std::vector<double> got(kSamples);
       for (std::size_t begin = 0; begin < kSamples; begin += batch) {
         const std::size_t n = std::min(batch, kSamples - begin);
@@ -743,14 +736,12 @@ TEST_F(CompiledExprTest, DivisionByZeroParityWithInterpreter) {
   EXPECT_NE(compiled.status().message().find("division by zero"),
             std::string::npos);
   // The grid must agree on the reported error too (lowest failing world).
-  for (std::size_t threads : {2u, 8u}) {
-    for (std::size_t batch : {1u, 7u, 64u}) {
-      auto parallel = RunScript(script, /*compiled=*/true, threads, batch,
-                                400);
-      EXPECT_EQ(interpreted.status(), parallel.status())
-          << "threads=" << threads << " batch=" << batch;
-    }
-  }
+  test::ForEachParallelGridPoint([&](std::size_t threads,
+                                     std::size_t batch) {
+    auto parallel = RunScript(script, /*compiled=*/true, threads, batch,
+                              400);
+    EXPECT_EQ(interpreted.status(), parallel.status());
+  });
 }
 
 TEST_F(CompiledExprTest, ShortCircuitGuardsErroringOperandsLikeInterpreter) {
@@ -808,6 +799,379 @@ TEST_F(CompiledExprTest, UncompilableScriptFallsBackWithVisibleReason) {
   ASSERT_TRUE(compiled.ok());
   EXPECT_NE(compiled.value().Report().find("expressions: compiled"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MONTECARLO OVER @p: the two-axis (points x worlds) sweep must be
+// bit-identical — values, draws, errors, per-point metrics — to N
+// standalone MONTECARLO statements at the same valuations, across the
+// full points x batch x threads grid, on both engines, compiled and
+// interpreted.
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, MonteCarloOverParses) {
+  auto list = ParseScript("MONTECARLO OVER @w IN (10, 20, 30);");
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  const auto& over = list.value().statements[0].montecarlo->over;
+  ASSERT_TRUE(over.has_value());
+  EXPECT_EQ(over->param, "w");
+  ASSERT_TRUE(over->values.has_value());
+  EXPECT_EQ(over->values->values, (std::vector<double>{10, 20, 30}));
+
+  auto range = ParseScript("MONTECARLO OVER @w IN 0 TO 52 STEP BY 4;");
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  const auto& rover = range.value().statements[0].montecarlo->over;
+  ASSERT_TRUE(rover.has_value() && rover->range.has_value());
+  EXPECT_DOUBLE_EQ(rover->range->lo, 0);
+  EXPECT_DOUBLE_EQ(rover->range->hi, 52);
+  EXPECT_DOUBLE_EQ(rover->range->step, 4);
+
+  auto bare = ParseScript("MONTECARLO OVER @w USING LAYERED;");
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  EXPECT_TRUE(bare.value().statements[0].montecarlo->layered);
+  ASSERT_TRUE(bare.value().statements[0].montecarlo->over.has_value());
+  EXPECT_FALSE(bare.value().statements[0].montecarlo->over->values);
+  EXPECT_FALSE(bare.value().statements[0].montecarlo->over->range);
+
+  EXPECT_FALSE(ParseScript("MONTECARLO OVER w;").ok());        // not a @param
+  EXPECT_FALSE(ParseScript("MONTECARLO OVER @w IN ();").ok()); // empty list
+  EXPECT_FALSE(ParseScript("MONTECARLO OVER @w IN 1 TO;").ok());
+}
+
+class MonteCarloSweepTest : public CompiledExprTest {
+ protected:
+  Result<ScriptOutcome> RunSweepScript(
+      const std::string& text, bool compiled, std::size_t threads,
+      std::size_t batch, std::size_t samples,
+      const std::vector<std::pair<std::string, double>>& overrides = {}) {
+    RunConfig cfg;
+    cfg.num_samples = samples;
+    cfg.num_threads = threads;
+    cfg.batch_size = batch;
+    cfg.compile_expressions = compiled;
+    // Retain raw samples so the grid checks draw-level identity, not just
+    // summary statistics.
+    cfg.keep_samples = true;
+    ScriptRunner runner(&registry_, cfg);
+    return runner.Run(text, overrides);
+  }
+
+  /// Metric equality plus bitwise draw equality (keep_samples runs).
+  static void ExpectSameMetricsAndDraws(
+      const std::map<std::string, OutputMetrics>& expected,
+      const std::map<std::string, OutputMetrics>& actual) {
+    ExpectSameMetrics(expected, actual);
+    for (const auto& [name, m] : expected) {
+      EXPECT_EQ(m.samples, actual.at(name).samples) << name;
+    }
+  }
+
+  static std::string Engine(bool layered) {
+    return layered ? " USING LAYERED;" : ";";
+  }
+
+  /// 9 candidate values for @w; sweeps take the first `npoints`.
+  static std::vector<double> PointValues(std::size_t npoints) {
+    std::vector<double> out;
+    for (std::size_t i = 0; i < npoints; ++i) {
+      out.push_back(10.0 + 10.0 * static_cast<double>(i));
+    }
+    return out;
+  }
+
+  static std::string SweepScript(std::size_t npoints, bool layered) {
+    std::string in;
+    for (double v : PointValues(npoints)) {
+      in += (in.empty() ? "" : ", ") + std::to_string(v);
+    }
+    return std::string(kSweepScenario) + "MONTECARLO OVER @w IN (" + in +
+           ")" + Engine(layered);
+  }
+
+  static constexpr const char* kSweepScenario =
+      "DECLARE PARAMETER @w AS RANGE 10 TO 90 STEP BY 10;"
+      "SELECT DemandModel(@w, 52) AS demand,"
+      "       2 * demand + @w AS adjusted INTO r;";
+};
+
+TEST_F(MonteCarloSweepTest, BitIdenticalToStandaloneAcrossGrid) {
+  const std::size_t kWorlds = 50;
+  const std::string standalone_script =
+      std::string(kSweepScenario) + "MONTECARLO";
+  for (bool layered : {false, true}) {
+    for (bool compiled : {true, false}) {
+      SCOPED_TRACE(testing::Message() << "layered=" << layered
+                                      << " compiled=" << compiled);
+      // One standalone MONTECARLO per candidate value: the reference the
+      // sweep must reproduce bit-for-bit. Standalone runs are themselves
+      // grid-invariant (MonteCarloThreadedIsBitIdenticalToSerial), so one
+      // serial run per value suffices.
+      std::vector<std::map<std::string, OutputMetrics>> standalone;
+      for (double v : PointValues(9)) {
+        auto ref = RunSweepScript(standalone_script + Engine(layered),
+                                  compiled, 1, 64, kWorlds, {{"w", v}});
+        ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+        standalone.push_back(std::move(ref.value().montecarlo->columns));
+      }
+
+      for (std::size_t npoints : {1u, 3u, 9u}) {
+        const std::string script = SweepScript(npoints, layered);
+        test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+          SCOPED_TRACE(testing::Message() << "points=" << npoints);
+          auto outcome = RunSweepScript(script, compiled, threads, batch,
+                                        kWorlds);
+          ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+          const auto& mc = outcome.value().montecarlo;
+          ASSERT_TRUE(mc.has_value());
+          EXPECT_EQ(mc->layered, layered);
+          EXPECT_EQ(mc->sweep_param, "w");
+          EXPECT_EQ(mc->worlds, kWorlds);
+          ASSERT_EQ(mc->points.size(), npoints);
+          EXPECT_EQ(outcome.value().bound.program->compiled(), compiled);
+          for (std::size_t k = 0; k < npoints; ++k) {
+            SCOPED_TRACE(testing::Message() << "point " << k);
+            EXPECT_EQ(mc->points[k].value, PointValues(9)[k]);
+            ExpectSameMetricsAndDraws(standalone[k], mc->points[k].columns);
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST_F(MonteCarloSweepTest, BareOverAndRangeFormsExpandPoints) {
+  // Bare OVER @w sweeps the declared domain; the IN range form expands
+  // like DECLARE RANGE. Both reduce to the explicit-list semantics.
+  const std::string scenario =
+      "DECLARE PARAMETER @w AS RANGE 10 TO 30 STEP BY 10;"
+      "SELECT DemandModel(@w, 52) AS demand INTO r;";
+  auto bare = RunSweepScript(scenario + "MONTECARLO OVER @w;", true, 2, 7,
+                             40);
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  ASSERT_EQ(bare.value().montecarlo->points.size(), 3u);
+  EXPECT_EQ(bare.value().montecarlo->points[0].value, 10.0);
+  EXPECT_EQ(bare.value().montecarlo->points[2].value, 30.0);
+
+  auto range = RunSweepScript(
+      scenario + "MONTECARLO OVER @w IN 10 TO 30 STEP BY 20;", true, 2, 7,
+      40);
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  ASSERT_EQ(range.value().montecarlo->points.size(), 2u);
+  EXPECT_EQ(range.value().montecarlo->points[0].value, 10.0);
+  EXPECT_EQ(range.value().montecarlo->points[1].value, 30.0);
+  // Same point, same draws: range point 0 == bare point 0 bit-for-bit.
+  ExpectSameMetricsAndDraws(bare.value().montecarlo->points[0].columns,
+                            range.value().montecarlo->points[0].columns);
+}
+
+TEST_F(MonteCarloSweepTest, OverridesStillPinNonSweptParameters) {
+  const std::string scenario =
+      "DECLARE PARAMETER @w AS RANGE 10 TO 30 STEP BY 10;"
+      "DECLARE PARAMETER @f AS SET (36, 52);"
+      "SELECT DemandModel(@w, @f) AS demand INTO r;";
+  auto sweep = RunSweepScript(scenario + "MONTECARLO OVER @w IN (20, 30);",
+                              true, 2, 7, 40, {{"f", 52.0}});
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  auto standalone = RunSweepScript(scenario + "MONTECARLO;", true, 1, 64, 40,
+                                   {{"f", 52.0}, {"w", 30.0}});
+  ASSERT_TRUE(standalone.ok()) << standalone.status().ToString();
+  ExpectSameMetricsAndDraws(standalone.value().montecarlo->columns,
+                            sweep.value().montecarlo->points[1].columns);
+}
+
+TEST_F(MonteCarloSweepTest, BindErrors) {
+  // Unbound sweep parameter.
+  auto unbound = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO OVER @ghost IN (1, 2);",
+      registry_);
+  ASSERT_FALSE(unbound.ok());
+  EXPECT_EQ(unbound.status().code(), StatusCode::kBindError);
+  EXPECT_NE(unbound.status().message().find("undeclared '@ghost'"),
+            std::string::npos);
+
+  // Empty point lists: a backwards range, and a CHAIN parameter's
+  // (non-enumerable) domain.
+  auto empty = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO OVER @w IN 30 TO 10;",
+      registry_);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find("empty point list"),
+            std::string::npos);
+
+  auto chain = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 9 STEP BY 1;"
+      "DECLARE PARAMETER @r AS CHAIN r FROM @w : @w - 1 INITIAL VALUE 1;"
+      "SELECT @r + 0 AS r, DemandModel(@w, @r) AS demand INTO results;"
+      "MONTECARLO OVER @r;",
+      registry_);
+  ASSERT_FALSE(chain.ok());
+  EXPECT_NE(chain.status().message().find("empty point list"),
+            std::string::npos);
+
+  auto bad_step = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO OVER @w IN 0 TO 5 STEP BY -1;",
+      registry_);
+  ASSERT_FALSE(bad_step.ok());
+  EXPECT_NE(bad_step.status().message().find("non-positive STEP"),
+            std::string::npos);
+
+  // Range materialization is guarded: an overflowing literal (inf after
+  // strtod) must not spin the expansion loop forever, and a finite but
+  // absurd span must not OOM the binder.
+  auto inf = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO OVER @w IN 0 TO 1e400;",
+      registry_);
+  ASSERT_FALSE(inf.ok());
+  EXPECT_NE(inf.status().message().find("must be finite"),
+            std::string::npos);
+
+  auto huge = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO OVER @w IN 0 TO 1e18;",
+      registry_);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.status().message().find("more than 1000000 points"),
+            std::string::npos);
+
+  // A degenerate range where lo + step rounds back to lo must terminate
+  // (index-stepped expansion) and bind to the single point.
+  auto degenerate = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO OVER @w IN 1e16 TO 1e16;",
+      registry_);
+  ASSERT_TRUE(degenerate.ok()) << degenerate.status().ToString();
+  ASSERT_TRUE(degenerate.value().montecarlo->over.has_value());
+  EXPECT_EQ(degenerate.value().montecarlo->over->points,
+            (std::vector<double>{1e16}));
+
+  // Non-finite literals are rejected in every sweep form, not just the
+  // range bounds.
+  auto inf_list = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO OVER @w IN (1, 1e400);",
+      registry_);
+  ASSERT_FALSE(inf_list.ok());
+  EXPECT_NE(inf_list.status().message().find("non-finite point value"),
+            std::string::npos);
+
+  // The point cap applies to the bare OVER form too: a large declared
+  // domain that DECLARE accepts must still be rejected as a sweep.
+  auto bare_huge = ParseAndBind(
+      "DECLARE PARAMETER @w AS RANGE 0 TO 2000000 STEP BY 1;"
+      "SELECT DemandModel(@w, 52) AS d INTO r;"
+      "MONTECARLO OVER @w;",
+      registry_);
+  ASSERT_FALSE(bare_huge.ok());
+  EXPECT_NE(bare_huge.status().message().find("more than 1000000 points"),
+            std::string::npos);
+}
+
+TEST_F(MonteCarloSweepTest, PointErrorNamesPointIdenticallySerialParallel) {
+  // CoinFlip(1) never lands 0, CoinFlip(0.5) does: point 0 succeeds and
+  // point 1 fails with the interpreter's division-by-zero error, prefixed
+  // with the failing point — identically at every grid cell, on both
+  // expression paths, and matching the standalone statement's error at
+  // that valuation.
+  const std::string scenario =
+      "DECLARE PARAMETER @p AS SET (1, 0.5);"
+      "SELECT 1 / CoinFlip(@p) AS q INTO r;";
+  const std::string script = scenario + "MONTECARLO OVER @p IN (1, 0.5);";
+
+  auto standalone = RunSweepScript(scenario + "MONTECARLO;", false, 1, 64, 400,
+                                   {{"p", 0.5}});
+  ASSERT_FALSE(standalone.ok());
+
+  auto serial = RunSweepScript(script, false, 1, 64, 400);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(serial.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(serial.status().message().find("sweep point 1"),
+            std::string::npos)
+      << serial.status().ToString();
+  EXPECT_NE(serial.status().message().find("division by zero"),
+            std::string::npos);
+  // The sweep's error is the standalone error plus the point coordinate.
+  EXPECT_NE(serial.status().message().find(standalone.status().message()),
+            std::string::npos);
+
+  for (bool compiled : {false, true}) {
+    test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+      SCOPED_TRACE(testing::Message() << "compiled=" << compiled);
+      auto outcome = RunSweepScript(script, compiled, threads, batch, 400);
+      EXPECT_EQ(serial.status(), outcome.status());
+    });
+  }
+
+  // The layered engine reports the same point coordinate.
+  auto layered = RunSweepScript(
+      scenario + "MONTECARLO OVER @p IN (1, 0.5) USING LAYERED;", false,
+      2, 7, 400);
+  ASSERT_FALSE(layered.ok());
+  EXPECT_NE(layered.status().message().find("sweep point 1"),
+            std::string::npos);
+}
+
+TEST_F(MonteCarloSweepTest, WorldZeroTypeFlipNamesPoint) {
+  // At @p = 1 the CASE always hits; at @p = 0.9 some world > 0 produces
+  // NULL, flipping the column away from world 0's numeric layout. The
+  // error must name the failing point, identically serial and parallel.
+  const std::string script =
+      "DECLARE PARAMETER @p AS SET (1, 0.9);"
+      "SELECT CASE WHEN CoinFlip(@p) > 0 THEN 1 END AS maybe INTO r;"
+      "MONTECARLO OVER @p IN (1, 0.9);";
+  auto serial = RunSweepScript(script, false, 1, 64, 400);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(serial.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(serial.status().message().find("sweep point 1"),
+            std::string::npos)
+      << serial.status().ToString();
+  EXPECT_NE(serial.status().message().find("'maybe' is not numeric"),
+            std::string::npos);
+  for (bool compiled : {false, true}) {
+    auto parallel = RunSweepScript(script, compiled, 8, 7, 400);
+    EXPECT_EQ(serial.status(), parallel.status())
+        << "compiled=" << compiled;
+  }
+}
+
+TEST_F(MonteCarloSweepTest, ReportListsPointsDeltasAndFallback) {
+  auto compiled = RunSweepScript(SweepScript(3, false), true, 2, 7, 50);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string report = compiled.value().Report();
+  EXPECT_NE(report.find("MONTECARLO OVER @w"), std::string::npos);
+  EXPECT_NE(report.find("3 points x 50 worlds"), std::string::npos);
+  EXPECT_NE(report.find("@w = 10"), std::string::npos);
+  EXPECT_NE(report.find("@w = 30"), std::string::npos);
+  // Point-vs-point deltas appear from the second point on.
+  EXPECT_NE(report.find("dmean"), std::string::npos);
+  EXPECT_NE(report.find("expressions: compiled"), std::string::npos);
+
+  // An uncompilable sweep still runs per point, and the de-optimization
+  // reason is surfaced in the same report.
+  auto fallback = RunSweepScript(
+      "DECLARE PARAMETER @w AS SET (1, 2);"
+      "SELECT @w + 0 AS w2,"
+      "       CASE WHEN 'a' = 'b' THEN 1 ELSE 2 END AS x INTO r;"
+      "MONTECARLO OVER @w IN (1, 2);",
+      true, 2, 7, 30);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_FALSE(fallback.value().bound.program->compiled());
+  const std::string freport = fallback.value().Report();
+  EXPECT_NE(freport.find("expressions: interpreted"), std::string::npos);
+  EXPECT_NE(freport.find("fallback:"), std::string::npos);
+  EXPECT_NE(freport.find("@w = 2"), std::string::npos);
+  EXPECT_EQ(fallback.value().montecarlo->points[1].columns.at("x").mean,
+            2.0);
 }
 
 // ---------------------------------------------------------------------------
