@@ -44,10 +44,12 @@ struct BenchFlags {
   std::size_t num_samples = 1000;
   std::size_t num_threads = 1;
   std::size_t batch_size = 64;
+  std::size_t num_sessions = 8;  ///< concurrent clients (serving benches)
 };
 
-/// Parses and strips `--num_samples=N`, `--num_threads=N` and
-/// `--batch_size=N` (also the two-token `--flag N` form) from argv,
+/// Parses and strips `--num_samples=N`, `--num_threads=N`,
+/// `--batch_size=N` and `--num_sessions=N` (also the two-token
+/// `--flag N` form) from argv,
 /// compacting the remaining arguments in place. Unrecognized flags are
 /// left for the caller (e.g. google-benchmark's own Initialize).
 inline BenchFlags ParseBenchFlags(int* argc, char** argv) {
@@ -76,6 +78,8 @@ inline BenchFlags ParseBenchFlags(int* argc, char** argv) {
       target = &flags.num_threads;
     } else if (match(argv[i], "--batch_size", &value)) {
       target = &flags.batch_size;
+    } else if (match(argv[i], "--num_sessions", &value)) {
+      target = &flags.num_sessions;
     }
     if (target == nullptr) {
       argv[out++] = argv[i];

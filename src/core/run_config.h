@@ -13,6 +13,8 @@
 
 namespace jigsaw {
 
+class ThreadPool;
+
 struct RunConfig {
   /// n: Monte Carlo sample instances per parameter point.
   std::size_t num_samples = 1000;
@@ -52,6 +54,15 @@ struct RunConfig {
   /// bit-identical at every batch size; the knob only trades per-call
   /// overhead against buffer locality. 0 is treated as 1 (pure scalar).
   std::size_t batch_size = 64;
+
+  /// Worker pool to fan work out on instead of constructing a private
+  /// one. Non-owning; must outlive every component handed this config.
+  /// When null (the default) and num_threads > 1, each executor creates
+  /// its own pool — the standalone behavior. The session server sets it
+  /// so every concurrent session submits world-chunk cells to one shared
+  /// pool; scheduling never changes a draw, so results stay bit-identical
+  /// either way.
+  ThreadPool* shared_pool = nullptr;
 
   /// Run SQL-bound expressions through the compiled BatchProgram path
   /// when the binder produced one. The compiled path is bit-identical to

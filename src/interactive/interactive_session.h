@@ -137,7 +137,8 @@ class InteractiveSession {
   ParameterSpace space_;
   InteractiveConfig config_;
   SeedVector seeds_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  ///< owned_pool_ or run.shared_pool
   RandomStream heuristic_rng_;
   std::size_t focus_ = 0;
   std::map<std::size_t, std::unique_ptr<PointState>> points_;

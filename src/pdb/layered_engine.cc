@@ -49,7 +49,7 @@ Result<LayeredPointResult> LayeredEngine::RunPoint(
     const PlanFactory& make_plan, std::span<const double> params) {
   LayeredPointResult result;
 
-  const std::uint64_t before = world_cache_.generation_count();
+  const std::uint64_t before = cache_->generation_count();
   // Pool tasks bump the counters concurrently; the totals are
   // deterministic on success (every world runs exactly once).
   std::atomic<std::uint64_t> plans_built{0};
@@ -75,13 +75,13 @@ Result<LayeredPointResult> LayeredEngine::RunPoint(
     return parsed;
   };
 
-  auto folded = FoldWorlds(config_.num_samples, config_, pool_.get(),
+  auto folded = FoldWorlds(config_.num_samples, config_, pool_,
                            run_world);
   // Record the work actually performed even when a world errors out —
   // the serial loop counted per world before propagating failures.
   stats_.plans_built += plans_built.load();
   stats_.rows_serialized += rows_serialized.load();
-  stats_.worlds_generated += world_cache_.generation_count() - before;
+  stats_.worlds_generated += cache_->generation_count() - before;
   JIGSAW_RETURN_IF_ERROR(folded.status());
   result.columns = std::move(folded).value();
   return result;

@@ -53,11 +53,24 @@ struct LayeredEngineStats {
 
 class LayeredEngine {
  public:
-  explicit LayeredEngine(const RunConfig& config)
+  /// `shared_cache`, when non-null, replaces the engine's private
+  /// WorldCache — the session server publishes one cache per catalog
+  /// snapshot so realizations amortize across every session that runs the
+  /// script. The cache keys realizations by (table, master seed, world),
+  /// so engines running under different seed namespaces never collide in
+  /// it; it must outlive the engine.
+  explicit LayeredEngine(const RunConfig& config,
+                         WorldCache* shared_cache = nullptr)
       : config_(config), seeds_(config.master_seed, config.num_samples) {
     if (config_.batch_size == 0) config_.batch_size = 1;
+    cache_ = shared_cache != nullptr ? shared_cache : &owned_cache_;
     if (config_.num_threads > 1) {
-      pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+      if (config_.shared_pool != nullptr) {
+        pool_ = config_.shared_pool;
+      } else {
+        owned_pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+        pool_ = owned_pool_.get();
+      }
     }
   }
 
@@ -90,16 +103,22 @@ class LayeredEngine {
       const PlanFactory& make_plan,
       std::span<const std::vector<double>> valuations);
 
-  WorldCache& world_cache() { return world_cache_; }
+  WorldCache& world_cache() { return *cache_; }
   const SeedVector& seeds() const { return seeds_; }
+  /// Note: with a shared cache, `worlds_generated` counts cache-wide
+  /// generations observed during this engine's runs — concurrent sibling
+  /// sessions inflate it. Per-session result determinism is unaffected
+  /// (stats never feed back into evaluation).
   const LayeredEngineStats& stats() const { return stats_; }
 
  private:
   RunConfig config_;
   SeedVector seeds_;
-  WorldCache world_cache_;
+  WorldCache owned_cache_;
+  WorldCache* cache_ = nullptr;  ///< owned_cache_ or the shared snapshot
   LayeredEngineStats stats_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  ///< owned_pool_ or config_.shared_pool
 };
 
 /// A VG scan node bound to a LayeredEngine world cache: scans the cached

@@ -366,7 +366,7 @@ Result<MonteCarloResult> MonteCarloExecutor::Run(
   MonteCarloResult result;
   JIGSAW_ASSIGN_OR_RETURN(
       result.columns,
-      FoldWorlds(config_.num_samples, config_, pool_.get(), run_world));
+      FoldWorlds(config_.num_samples, config_, pool_, run_world));
   result.worlds = config_.num_samples;
   return result;
 }
@@ -376,7 +376,7 @@ Result<MonteCarloResult> MonteCarloExecutor::RunSpans(
   MonteCarloResult result;
   JIGSAW_ASSIGN_OR_RETURN(
       result.columns, FoldWorldSpans(column_names, config_.num_samples,
-                                     config_, pool_.get(), run_span));
+                                     config_, pool_, run_span));
   result.worlds = config_.num_samples;
   return result;
 }
@@ -395,7 +395,7 @@ Result<std::vector<MonteCarloResult>> MonteCarloExecutor::RunSweep(
   };
   JIGSAW_ASSIGN_OR_RETURN(
       auto folded, FoldPointWorlds(valuations.size(), config_.num_samples,
-                                   config_, pool_.get(), run_world));
+                                   config_, pool_, run_world));
   std::vector<MonteCarloResult> out(folded.size());
   for (std::size_t point = 0; point < folded.size(); ++point) {
     out[point].columns = std::move(folded[point]);
@@ -410,7 +410,7 @@ Result<std::vector<MonteCarloResult>> MonteCarloExecutor::RunSweepSpans(
   JIGSAW_ASSIGN_OR_RETURN(
       auto folded,
       FoldPointWorldSpans(column_names, num_points, config_.num_samples,
-                          config_, pool_.get(), run_span));
+                          config_, pool_, run_span));
   std::vector<MonteCarloResult> out(folded.size());
   for (std::size_t point = 0; point < folded.size(); ++point) {
     out[point].columns = std::move(folded[point]);

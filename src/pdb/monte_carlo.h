@@ -145,7 +145,14 @@ class MonteCarloExecutor {
       : config_(config), seeds_(config.master_seed, config.num_samples) {
     if (config_.batch_size == 0) config_.batch_size = 1;
     if (config_.num_threads > 1) {
-      pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+      // A shared pool (session server) takes precedence over a private
+      // one; either way chunk scheduling cannot perturb a draw.
+      if (config_.shared_pool != nullptr) {
+        pool_ = config_.shared_pool;
+      } else {
+        owned_pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+        pool_ = owned_pool_.get();
+      }
     }
   }
 
@@ -187,7 +194,8 @@ class MonteCarloExecutor {
  private:
   RunConfig config_;
   SeedVector seeds_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  ///< owned_pool_ or config_.shared_pool
 };
 
 }  // namespace jigsaw::pdb

@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 
 #include "pdb/table.h"
 #include "random/seed_vector.h"
@@ -38,12 +39,17 @@ class VGTableFunction {
 
 using VGTableFunctionPtr = std::shared_ptr<const VGTableFunction>;
 
-/// Memoizes realizations per (table name, sample id). Safe to share
-/// across the pool tasks of a parallel possible-worlds run: lookups and
-/// inserts are mutex-guarded, generation runs outside the lock, and the
-/// first insert of a key wins (so generation_count stays deterministic —
-/// one generation per distinct world actually realized). Returned
-/// pointers stay valid for the cache's lifetime (map nodes are stable).
+/// Memoizes realizations per (table name, seed namespace, sample id).
+/// Safe to share across the pool tasks of a parallel possible-worlds run
+/// AND across concurrent sessions (the session server publishes one cache
+/// per catalog snapshot): lookups and inserts are mutex-guarded,
+/// generation runs outside the lock, and the first insert of a key wins
+/// (so generation_count stays deterministic — one generation per distinct
+/// world actually realized). The key includes the seed vector's master
+/// seed, so sessions running under different seed namespaces realize
+/// disjoint entries instead of silently reading each other's draws, while
+/// same-namespace sessions share realizations. Returned pointers stay
+/// valid for the cache's lifetime (map nodes are stable).
 class WorldCache {
  public:
   /// Returns the cached realization, generating it on first use.
@@ -66,7 +72,8 @@ class WorldCache {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::pair<std::string, std::size_t>, Table> cache_;
+  std::map<std::tuple<std::string, std::uint64_t, std::size_t>, Table>
+      cache_;
   std::uint64_t generations_ = 0;
 };
 

@@ -1,0 +1,151 @@
+#include "serve/session_server.h"
+
+#include "core/sim_runner.h"
+#include "random/splitmix64.h"
+
+namespace jigsaw::serve {
+
+std::uint64_t SessionSeed(std::uint64_t master_seed,
+                          std::uint64_t session_id) {
+  // One SplitMix64 scramble of (master, id). The golden-ratio stride
+  // separates consecutive ids across the whole state space before the
+  // scramble mixes; "SESS" tags the derivation so a session namespace
+  // can never collide with other derived-seed schemes rooted at the
+  // same master seed.
+  SplitMix64 sm(master_seed ^
+                (0x53455353ULL + session_id * 0x9E3779B97F4A7C15ULL));
+  return sm.Next();
+}
+
+RunConfig StandaloneTwinConfig(const Session& session) {
+  RunConfig twin = session.config();
+  twin.num_threads = 1;
+  twin.shared_pool = nullptr;
+  return twin;
+}
+
+SessionServer::SessionServer(const ModelRegistry* registry,
+                             const RunConfig& base)
+    : registry_(registry),
+      base_(base),
+      catalog_(std::make_shared<const Catalog>()) {
+  if (base_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(base_.num_threads);
+  }
+  base_.shared_pool = pool_.get();
+}
+
+Result<std::shared_ptr<const ScriptSnapshot>> SessionServer::Publish(
+    const std::string& name, const std::string& text,
+    const PublishOptions& options) {
+  // Bind once, outside the lock — publishing must not stall Connect or
+  // sibling publishes behind a parse.
+  JIGSAW_ASSIGN_OR_RETURN(sql::BoundScript compiled,
+                          sql::ParseAndBind(text, *registry_));
+  sql::BoundScript interpreted = compiled;
+  sql::UseInterpretedExpressions(interpreted);
+
+  auto snapshot = std::make_shared<ScriptSnapshot>();
+  snapshot->name = name;
+  snapshot->text = text;
+  snapshot->world_cache = std::make_shared<pdb::WorldCache>();
+
+  if (options.warm_basis_store) {
+    // Warm under the server namespace: sweep every scenario column once
+    // with a throwaway runner, then copy its bases — in insertion order,
+    // so ids and index content are reproducible — into a frozen
+    // thread-safe store. Warming happens before the snapshot is
+    // published, so no session can observe a half-warm store.
+    RunConfig warm_cfg = base_;
+    SimulationRunner warm(warm_cfg);
+    for (const auto& column : compiled.scenario.columns) {
+      warm.RunSweep(*column.fn, compiled.scenario.params);
+    }
+    auto finder = LinearMappingFinder::Make();
+    auto store = std::make_shared<BasisStore>(
+        finder, base_.index_kind, base_.tolerance, base_.quantum,
+        /*thread_safe=*/true);
+    const BasisStore& warmed = warm.basis_store();
+    for (BasisId id = 0; id < warmed.size(); ++id) {
+      const BasisDistribution& basis = warmed.Get(id);
+      store->Insert(Fingerprint(basis.fingerprint), basis.metrics);
+    }
+    snapshot->basis_store = std::move(store);
+  }
+
+  snapshot->compiled =
+      std::make_shared<const sql::BoundScript>(std::move(compiled));
+  snapshot->interpreted =
+      std::make_shared<const sql::BoundScript>(std::move(interpreted));
+
+  // Copy-on-write swap: runs holding the previous catalog pointer keep
+  // an unchanged view; new runs pick up the new snapshot.
+  std::shared_ptr<const ScriptSnapshot> published = std::move(snapshot);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<Catalog>(*catalog_);
+  (*next)[name] = published;
+  catalog_ = std::move(next);
+  return published;
+}
+
+Session& SessionServer::Connect(const SessionOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_session_id_++;
+  RunConfig config = base_;
+  if (!options.shared_namespace) {
+    config.master_seed = SessionSeed(base_.master_seed, id);
+  }
+  if (options.compile_expressions) {
+    config.compile_expressions = *options.compile_expressions;
+  }
+  sessions_.push_back(std::unique_ptr<Session>(
+      new Session(this, id, std::move(config))));
+  return *sessions_.back();
+}
+
+std::shared_ptr<const Catalog> SessionServer::catalog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_;
+}
+
+std::size_t SessionServer::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+Result<sql::ScriptOutcome> Session::Run(
+    const std::string& script_name,
+    const std::vector<std::pair<std::string, double>>& overrides) {
+  const std::shared_ptr<const Catalog> catalog = server_->catalog();
+  auto it = catalog->find(script_name);
+  if (it == catalog->end()) {
+    return Status::NotFound("no published script named '" + script_name +
+                            "'");
+  }
+  // Keep the snapshot alive past any concurrent republish of the name.
+  const std::shared_ptr<const ScriptSnapshot> snapshot = it->second;
+  const std::shared_ptr<const sql::BoundScript>& twin =
+      config_.compile_expressions ? snapshot->compiled
+                                  : snapshot->interpreted;
+  sql::SnapshotResources shared;
+  shared.world_cache = snapshot->world_cache.get();
+  shared.basis_store = snapshot->basis_store.get();
+  sql::ScriptRunner runner(server_->registry(), config_);
+  return runner.RunBound(sql::BoundScript(*twin), overrides, shared);
+}
+
+Result<sql::ScriptOutcome> Session::RunText(
+    const std::string& text,
+    const std::vector<std::pair<std::string, double>>& overrides) {
+  sql::ScriptRunner runner(server_->registry(), config_);
+  return runner.Run(text, overrides);
+}
+
+Result<std::unique_ptr<InteractiveSession>> Session::PrimeInteractive(
+    const sql::ScriptOutcome& outcome, const std::string& column,
+    InteractiveConfig config) {
+  config.run = config_;
+  return MakeSessionFromOutcome(outcome, column, config);
+}
+
+}  // namespace jigsaw::serve

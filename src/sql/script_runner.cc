@@ -142,9 +142,15 @@ Result<ScriptOutcome> ScriptRunner::Run(
     const std::vector<std::pair<std::string, double>>& overrides) {
   JIGSAW_ASSIGN_OR_RETURN(BoundScript bound, ParseAndBind(text, *registry_));
   if (!config_.compile_expressions) UseInterpretedExpressions(bound);
+  return RunBound(std::move(bound), overrides);
+}
 
+Result<ScriptOutcome> ScriptRunner::RunBound(
+    BoundScript bound,
+    const std::vector<std::pair<std::string, double>>& overrides,
+    const SnapshotResources& shared) {
   ScriptOutcome outcome;
-  SimulationRunner runner(config_);
+  SimulationRunner runner(config_, /*finder=*/nullptr, shared.basis_store);
 
   if (bound.optimize) {
     if (bound.chain) {
@@ -218,6 +224,8 @@ Result<ScriptOutcome> ScriptRunner::Run(
     mc.layered = bound.montecarlo->layered;
     mc.worlds = config_.num_samples;
     mc.num_threads = std::max<std::size_t>(1, config_.num_threads);
+    mc.master_seed = config_.master_seed;
+    mc.base_valuation = valuation;
 
     // The standalone statement is the one-point case of the sweep: OVER
     // @p pins the swept parameter to each point value on top of the base
@@ -230,6 +238,7 @@ Result<ScriptOutcome> ScriptRunner::Run(
     if (bound.montecarlo->over) {
       const MonteCarloSweepSpec& sweep = *bound.montecarlo->over;
       mc.sweep_param = sweep.param_name;
+      mc.sweep_param_index = sweep.param_index;
       valuations.reserve(sweep.points.size());
       for (double v : sweep.points) {
         valuations.push_back(valuation);
@@ -242,8 +251,9 @@ Result<ScriptOutcome> ScriptRunner::Run(
     std::vector<std::map<std::string, OutputMetrics>> per_point;
     if (bound.montecarlo->layered) {
       // Layered path: the prototype's per-point executors, worlds fanned
-      // out within each point, WorldCache shared across points.
-      pdb::LayeredEngine engine(config_);
+      // out within each point, WorldCache shared across points (and, when
+      // the snapshot publishes one, across sessions).
+      pdb::LayeredEngine engine(config_, shared.world_cache);
       JIGSAW_ASSIGN_OR_RETURN(auto results,
                               engine.RunSweep(factory, valuations));
       for (auto& r : results) per_point.push_back(std::move(r.columns));

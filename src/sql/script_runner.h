@@ -7,6 +7,7 @@
 /// (interactive mode's presentation, Section 2.2). This is the highest-
 /// level entry point of the library; the examples and the REPL sit on it.
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -20,6 +21,10 @@
 #include "models/black_box.h"
 #include "sql/binder.h"
 #include "util/status.h"
+
+namespace jigsaw::pdb {
+class WorldCache;
+}  // namespace jigsaw::pdb
 
 namespace jigsaw::sql {
 
@@ -51,6 +56,14 @@ struct MonteCarloOutcome {
   bool layered = false;         ///< true if run through LayeredEngine
   std::string sweep_param;      ///< OVER parameter name ("" if no sweep)
   std::vector<MonteCarloPoint> points;  ///< one per OVER point, in order
+
+  // Provenance for downstream consumers (MakeSessionFromOutcome): which
+  // seed namespace the worlds drew from and which valuation each sweep
+  // point pinned, so an interactive session can verify the outcome's
+  // world ids are its own sample ids before importing them.
+  std::uint64_t master_seed = 0;         ///< seed namespace of the draws
+  std::vector<double> base_valuation;    ///< valuation before OVER pinning
+  std::optional<std::size_t> sweep_param_index;  ///< OVER param's index
 };
 
 struct ScriptOutcome {
@@ -65,6 +78,18 @@ struct ScriptOutcome {
   std::string Report() const;
 };
 
+/// Frozen shared resources a published catalog snapshot hands to every
+/// run executed against it (see serve/session_server.h). Both pointers
+/// are optional and non-owning; when set they must be thread-safe and
+/// outlive the run. Neither changes a run's results — the world cache
+/// memoizes realizations that are pure functions of (table, seed
+/// namespace, world), and the basis store is frozen at publish time so
+/// probes against it are order-independent.
+struct SnapshotResources {
+  pdb::WorldCache* world_cache = nullptr;  ///< shared VG realizations
+  BasisStore* basis_store = nullptr;       ///< frozen published bases
+};
+
 class ScriptRunner {
  public:
   ScriptRunner(const ModelRegistry* registry, const RunConfig& config)
@@ -77,6 +102,20 @@ class ScriptRunner {
   Result<ScriptOutcome> Run(const std::string& text,
                             const std::vector<std::pair<std::string, double>>&
                                 overrides);
+
+  /// Executes an already-bound script — the session-server path, where
+  /// parse+bind happened once at publish time and every client run
+  /// replays the frozen plan. `bound` is taken by value (snapshot callers
+  /// pass a copy of the published twin; the copy is cheap — columns and
+  /// programs are shared_ptrs) and must already match this runner's
+  /// expression mode: Run() strips compiled programs itself when
+  /// config.compile_expressions is false, RunBound never mutates the
+  /// plan. Results are bit-identical to Run() on the same script text
+  /// with the same config, with or without `shared` resources.
+  Result<ScriptOutcome> RunBound(
+      BoundScript bound,
+      const std::vector<std::pair<std::string, double>>& overrides,
+      const SnapshotResources& shared = {});
 
  private:
   const ModelRegistry* registry_;

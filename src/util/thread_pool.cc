@@ -43,15 +43,34 @@ void ThreadPool::ParallelFor(std::size_t count,
   if (count == 0) return;
   const std::size_t chunks = std::min(count, num_threads() * 4);
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+  // Per-call completion state, on the caller's stack: when the pool is
+  // shared by several client threads, a caller must wait for exactly its
+  // own chunks — WaitIdle would block on every other client's in-flight
+  // work too (and with another session continuously submitting, might
+  // never return). The tasks reference these locals; the wait below keeps
+  // them alive until the last chunk has signalled.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunk_size;
     const std::size_t end = std::min(begin + chunk_size, count);
     if (begin >= end) break;
-    Submit([&fn, begin, end] {
+    {
+      std::unique_lock<std::mutex> lock(done_mu);
+      ++pending;
+    }
+    Submit([&fn, &done_mu, &done_cv, &pending, begin, end] {
       for (std::size_t i = begin; i < end; ++i) fn(i);
+      std::unique_lock<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_all();
     });
   }
-  WaitIdle();
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&pending] { return pending == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -5,6 +5,12 @@
 /// evaluation (MCDB evaluates sampled worlds in parallel). Determinism is
 /// preserved because each sample's randomness depends only on its seed, not
 /// on scheduling; reductions merge per-worker accumulators in index order.
+///
+/// One pool may be shared by many concurrent clients (the session server
+/// hands every session the same pool): ParallelFor tracks completion per
+/// call, so a caller waits only for its own tasks — never for work another
+/// client enqueued — and concurrent ParallelFor calls simply interleave
+/// their chunks in the submission queue.
 
 #include <condition_variable>
 #include <cstddef>
@@ -27,11 +33,17 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished — pool-wide, across
+  /// all clients. Prefer ParallelFor, whose wait is scoped to its own
+  /// tasks, when the pool is shared.
   void WaitIdle();
 
   /// Runs fn(i) for i in [0, count) across the pool and waits. Chunked to
-  /// keep queue overhead low for fine-grained bodies.
+  /// keep queue overhead low for fine-grained bodies. Completion is
+  /// tracked per call: safe to invoke from several client threads on the
+  /// same pool concurrently (each call returns as soon as its own chunks
+  /// finish). Must not be called from inside a pool task — a worker
+  /// blocked here would deadlock the pool it is supposed to drain.
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& fn);
 

@@ -73,4 +73,29 @@ void ForEachGridBatch(Fn&& fn) {
   }
 }
 
+/// Session counts for the serving-layer grid: single tenant (1), modest
+/// concurrency (4), and far more sessions than the widest pool (16 —
+/// saturation, every session contending for the same workers).
+inline constexpr std::array<std::size_t, 3> kGridSessionCounts = {1u, 4u,
+                                                                  16u};
+
+inline const std::array<std::size_t, 3>& GridSessionCounts() {
+  return kGridSessionCounts;
+}
+
+/// Invokes fn(sessions, threads) at every (session count x pool width)
+/// point — the acceptance grid of serve_test: every concurrency shape a
+/// deployment can take, from one serial tenant to 16 sessions fighting
+/// over 2 workers.
+template <typename Fn>
+void ForEachSessionGridPoint(Fn&& fn) {
+  for (std::size_t sessions : GridSessionCounts()) {
+    for (std::size_t threads : GridThreadCounts()) {
+      SCOPED_TRACE(::testing::Message()
+                   << "sessions=" << sessions << " threads=" << threads);
+      fn(sessions, threads);
+    }
+  }
+}
+
 }  // namespace jigsaw::test

@@ -117,5 +117,47 @@ TEST(ThreadPoolTest, ConcurrentSubmittersAllExecute) {
   EXPECT_EQ(executed.load(), 800);
 }
 
+TEST(ThreadPoolTest, ConcurrentParallelForCallersCompleteIndependently) {
+  // The serving layer's contract: many client threads issue ParallelFor
+  // on ONE shared pool, and each call returns exactly when ITS items are
+  // done — never waiting on (or racing with) a sibling's in-flight work.
+  constexpr int kCallers = 8;
+  constexpr std::size_t kItems = 257;  // straddles chunk boundaries
+  constexpr int kRounds = 5;
+  ThreadPool pool(4);
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kItems);
+  std::vector<std::thread> callers;
+  // NOT vector<bool>: packed bits share words across callers (data race).
+  std::vector<std::atomic<bool>> complete_on_return(kCallers);
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      bool complete = true;
+      for (int round = 0; round < kRounds; ++round) {
+        pool.ParallelFor(kItems, [&, c](std::size_t i) {
+          hits[c][i].fetch_add(1, std::memory_order_relaxed);
+        });
+        // Per-call completion: after ParallelFor returns, every one of
+        // THIS caller's items for this round must have run.
+        for (std::size_t i = 0; i < kItems; ++i) {
+          if (hits[c][i].load(std::memory_order_relaxed) < round + 1) {
+            complete = false;
+          }
+        }
+      }
+      complete_on_return[c].store(complete, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_TRUE(complete_on_return[c]) << "caller " << c;
+    for (std::size_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(hits[c][i].load(), kRounds)
+          << "caller " << c << " item " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace jigsaw
