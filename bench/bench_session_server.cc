@@ -18,7 +18,9 @@
 // the serving determinism contract.
 //
 // Every row is a JSON-lines record on stdout with throughput and
-// p50/p95/p99 request latency; a human summary goes to stderr. Flags:
+// p50/p95/p99 request latency, plus one "session_server_round" row per
+// (round, request kind) — the per-round latency trajectory of the run,
+// not just end-of-run percentiles. A human summary goes to stderr. Flags:
 // --num_samples=N --batch_size=N --num_threads=N --num_sessions=N
 // (bench_common.h).
 
@@ -243,6 +245,46 @@ void EmitRow(const std::string& mode, std::size_t sessions,
   EmitJsonLine(std::cout, row);
 }
 
+/// Time-series output: one row per (round, request kind) aggregating
+/// that round's latencies across sessions — the trajectory view of the
+/// run (warm-up effects, cache convergence), not just end-of-run
+/// percentiles. DriveWorkload pushes exactly three latencies per
+/// completed round, in (sweep, mc, tick) order; sessions that aborted
+/// mid-round simply contribute fewer entries.
+void EmitRoundRows(const std::string& mode, std::size_t sessions,
+                   std::size_t threads, std::size_t rounds,
+                   const BenchFlags& flags,
+                   const std::vector<SessionResult>& results) {
+  static const char* kKinds[] = {"sweep", "mc", "tick"};
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t kind = 0; kind < 3; ++kind) {
+      std::vector<double> lat;
+      for (const SessionResult& r : results) {
+        const std::size_t idx = 3 * round + kind;
+        if (idx < r.latencies_s.size()) lat.push_back(r.latencies_s[idx]);
+      }
+      if (lat.empty()) continue;
+      std::sort(lat.begin(), lat.end());
+      double total = 0.0;
+      for (double x : lat) total += x;
+      JsonLineBuilder row;
+      row.Str("bench", "session_server_round")
+          .Str("mode", mode)
+          .Str("request", kKinds[kind])
+          .Num("round", static_cast<double>(round))
+          .Num("sessions", static_cast<double>(sessions))
+          .Num("num_threads", static_cast<double>(threads))
+          .Num("worlds", static_cast<double>(flags.num_samples))
+          .Num("batch_size", static_cast<double>(flags.batch_size))
+          .Num("lat_mean_ms", total / static_cast<double>(lat.size()) * 1e3)
+          .Num("lat_min_ms", lat.front() * 1e3)
+          .Num("lat_p50_ms", Percentile(lat, 0.50) * 1e3)
+          .Num("lat_max_ms", lat.back() * 1e3);
+      EmitJsonLine(std::cout, row);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -314,6 +356,9 @@ int main(int argc, char** argv) {
             concurrent, concurrent_s);
     EmitRow("standalone", sessions, 1, rounds, flags, standalone,
             standalone_s);
+    EmitRoundRows("concurrent", sessions, flags.num_threads, rounds, flags,
+                  concurrent);
+    EmitRoundRows("standalone", sessions, 1, rounds, flags, standalone);
 
     bool same = true;
     for (std::size_t s = 0; s < sessions; ++s) {

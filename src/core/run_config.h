@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "core/fingerprint_index.h"
+#include "random/draw_plane.h"
 
 namespace jigsaw {
 
@@ -38,6 +39,15 @@ struct RunConfig {
 
   /// Seed of the global seed vector {sigma_k}.
   std::uint64_t master_seed = 0x5160534A00000001ULL;  // "JIGSAW"-ish tag
+
+  /// Versioned draw-sequence derivation (the determinism contract's
+  /// seed-schema gate). kV1 is the original seed-table derivation and
+  /// stays byte-exact across releases; kV2 derives draws counter-based
+  /// (draw planes, no per-sample setup) and therefore produces a
+  /// *different but equally deterministic* draw sequence. Everything
+  /// seeded by this config — runners, kernels, world caches, serve
+  /// snapshots — must agree on the schema.
+  SeedSchema seed_schema = SeedSchema::kV1;
 
   /// Estimator output shape.
   int histogram_bins = 20;

@@ -56,7 +56,10 @@ class BlackBoxSimFunction : public SimFunction {
 
   double Sample(std::span<const double> params, std::size_t sample_id,
                 const SeedVector& seeds) const override {
-    return InvokeSeeded(*model_, params, seeds.seed(sample_id), call_site_);
+    // StreamFor dispatches on the seed schema; under v1 this is exactly
+    // the historical InvokeSeeded(model, params, sigma_k, call_site).
+    RandomStream rng = seeds.StreamFor(sample_id, call_site_);
+    return model_->Eval(params, rng);
   }
 
   /// One virtual hop into the model's batch kernel (native or the scalar
@@ -64,7 +67,7 @@ class BlackBoxSimFunction : public SimFunction {
   void SampleBatch(std::span<const double> params, std::size_t sample_begin,
                    const SeedVector& seeds,
                    std::span<double> out) const override {
-    model_->EvalBatch(params, seeds.seed_span(sample_begin, out.size()),
+    model_->EvalBatch(params, seeds.span(sample_begin, out.size()),
                       call_site_, out);
   }
 

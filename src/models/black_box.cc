@@ -5,13 +5,13 @@
 
 namespace jigsaw {
 
-void BlackBox::EvalBatch(std::span<const double> params,
-                         std::span<const std::uint64_t> sigmas,
+void BlackBox::EvalBatch(std::span<const double> params, SeedSpan seeds,
                          std::uint64_t call_site,
                          std::span<double> out) const {
-  JIGSAW_DCHECK(sigmas.size() == out.size());
+  JIGSAW_DCHECK(seeds.size() == out.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = InvokeSeeded(*this, params, sigmas[i], call_site);
+    RandomStream rng = seeds.StreamAt(i, call_site);
+    out[i] = Eval(params, rng);
   }
 }
 

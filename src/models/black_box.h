@@ -38,14 +38,17 @@ class BlackBox {
   virtual double Eval(std::span<const double> params,
                       RandomStream& rng) const = 0;
 
-  /// Draws `out.size()` samples, one per seed in `sigmas`, into `out`.
-  /// Sample i must equal InvokeSeeded(*this, params, sigmas[i], call_site)
+  /// Draws `out.size()` samples, one per entry of `seeds`, into `out`.
+  /// Sample i must equal Eval(params, seeds.StreamAt(i, call_site))
   /// bit-for-bit — batching may hoist parameter-dependent work out of the
-  /// per-sample loop but never changes any draw. The default loops over
-  /// Eval, so scalar-only models work unchanged; hot models override this
-  /// with a native kernel (see cloud_models.cc).
-  virtual void EvalBatch(std::span<const double> params,
-                         std::span<const std::uint64_t> sigmas,
+  /// per-sample loop but never changes any draw. (Under seed-schema v1
+  /// that scalar twin is exactly the historical InvokeSeeded; under v2 it
+  /// is the counter-based stream, which native kernels reproduce with
+  /// draw planes.) The default loops over Eval, so scalar-only models
+  /// work unchanged; hot models override this with a native kernel (see
+  /// cloud_models.cc). A raw sigma span converts implicitly to a v1
+  /// SeedSpan, so pre-v2 call sites keep their shape.
+  virtual void EvalBatch(std::span<const double> params, SeedSpan seeds,
                          std::uint64_t call_site,
                          std::span<double> out) const;
 };

@@ -731,7 +731,7 @@ Status BatchProgram::Exec(const Context& ctx, std::size_t n,
           s.argv.clear();
           for (std::uint32_t arg : op.args) s.argv.push_back(val(arg)[0]);
           op.model->EvalBatch(s.argv,
-                              ctx.seeds->seed_span(ctx.sample_begin, n),
+                              ctx.seeds->span(ctx.sample_begin, n),
                               site, std::span<double>(d, n));
           std::fill(dn, dn + n, std::uint8_t{0});
         } else {

@@ -61,7 +61,8 @@ class LayeredEngine {
   /// it; it must outlive the engine.
   explicit LayeredEngine(const RunConfig& config,
                          WorldCache* shared_cache = nullptr)
-      : config_(config), seeds_(config.master_seed, config.num_samples) {
+      : config_(config),
+        seeds_(config.master_seed, config.num_samples, config.seed_schema) {
     if (config_.batch_size == 0) config_.batch_size = 1;
     cache_ = shared_cache != nullptr ? shared_cache : &owned_cache_;
     if (config_.num_threads > 1) {

@@ -142,7 +142,8 @@ struct MonteCarloResult {
 class MonteCarloExecutor {
  public:
   explicit MonteCarloExecutor(const RunConfig& config)
-      : config_(config), seeds_(config.master_seed, config.num_samples) {
+      : config_(config),
+        seeds_(config.master_seed, config.num_samples, config.seed_schema) {
     if (config_.batch_size == 0) config_.batch_size = 1;
     if (config_.num_threads > 1) {
       // A shared pool (session server) takes precedence over a private

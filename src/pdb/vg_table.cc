@@ -8,7 +8,9 @@ namespace jigsaw::pdb {
 Result<const Table*> WorldCache::GetOrGenerate(const VGTableFunction& fn,
                                                std::size_t sample_id,
                                                const SeedVector& seeds) {
-  const auto key = std::make_tuple(fn.name(), seeds.master_seed(), sample_id);
+  const auto key =
+      std::make_tuple(fn.name(), seeds.master_seed(),
+                      static_cast<std::uint8_t>(seeds.schema()), sample_id);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);

@@ -46,10 +46,11 @@ using VGTableFunctionPtr = std::shared_ptr<const VGTableFunction>;
 /// generation runs outside the lock, and the first insert of a key wins
 /// (so generation_count stays deterministic — one generation per distinct
 /// world actually realized). The key includes the seed vector's master
-/// seed, so sessions running under different seed namespaces realize
-/// disjoint entries instead of silently reading each other's draws, while
-/// same-namespace sessions share realizations. Returned pointers stay
-/// valid for the cache's lifetime (map nodes are stable).
+/// seed AND its seed schema, so sessions running under different seed
+/// namespaces — or different draw derivations — realize disjoint entries
+/// instead of silently reading each other's draws, while same-namespace
+/// same-schema sessions share realizations. Returned pointers stay valid
+/// for the cache's lifetime (map nodes are stable).
 class WorldCache {
  public:
   /// Returns the cached realization, generating it on first use.
@@ -72,7 +73,8 @@ class WorldCache {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::tuple<std::string, std::uint64_t, std::size_t>, Table>
+  std::map<std::tuple<std::string, std::uint64_t, std::uint8_t, std::size_t>,
+           Table>
       cache_;
   std::uint64_t generations_ = 0;
 };

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file draw_plane.h
+/// Seed-schema v2: counter-based draw planes. Schema v1 (the original
+/// derivation) expands the master seed into a per-sample seed table and
+/// seeds one sequential Xoshiro256 stream per (sample, call site) cell;
+/// every batched kernel therefore pays per-sample generator setup before
+/// its first draw. Philox-4x32 is counter-based — a draw is a pure
+/// function of (key, counter) with no state to set up — so schema v2
+/// derives the d'th draw of sample k at a call site directly:
+///
+///   word(k, d) = Philox4x32::Block(counter = (k / 4, d),
+///                                  key     = DrawKey(master, site))[k % 4]
+///
+/// One 4-wide Philox block yields the same draw index for four adjacent
+/// samples, so a *draw plane* — the vector of draw d across a contiguous
+/// sample range — fills with one block per four lanes and no per-sample
+/// work at all. CounterStream is the scalar view of the same mapping
+/// (sample k's words in draw-index order), which is what makes the plane
+/// kernels bit-identical to their serial twins by construction.
+///
+/// Schema choice is part of the determinism contract (ROADMAP): v2
+/// changes the draw sequence, so it lives behind the explicit SeedSchema
+/// gate and is never on by default.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "random/philox.h"
+
+namespace jigsaw {
+
+/// Versioned derivation of the per-(sample, call site) draw sequence.
+/// Everything downstream of a RunConfig — runners, kernels, caches,
+/// serve snapshots — keys its randomness on one of these.
+enum class SeedSchema : std::uint8_t {
+  /// Seed-table schema: sigma_k from SplitMix64(master), one Xoshiro256
+  /// stream per cell via DeriveStreamSeed(sigma_k, site). The original
+  /// (and default) derivation; byte-exact with all pre-v2 history.
+  kV1 = 1,
+  /// Counter-based schema: draws come straight out of Philox blocks
+  /// keyed on DrawKey(master, site) and countered on (sample, draw).
+  kV2 = 2,
+};
+
+/// Combines a stream salt with a call site the way the batch program
+/// runtime does: salt 0 means "no extra namespace".
+std::uint64_t CombineSite(std::uint64_t call_site, std::uint64_t stream_salt);
+
+/// Schema-v2 Philox key for a (master seed, combined call site) pair.
+/// One SplitMix64-style finalizer — per-call-site setup is one mix, and
+/// there is no per-sample setup at all.
+inline std::uint64_t DrawKey(std::uint64_t master_seed, std::uint64_t site) {
+  std::uint64_t z = master_seed + 0x9e3779b97f4a7c15ULL * (site + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Scalar schema-v2 uniform source for one sample: the words of sample
+/// `k` under `key`, in draw-index order. Pure function of (key, k, draw
+/// index) — construction costs two shifts, so building one per sample in
+/// a fallback loop is still cheap; the plane helpers below amortize the
+/// Philox block across four samples and are the hot path.
+class CounterStream {
+ public:
+  CounterStream(std::uint64_t key, std::uint64_t k)
+      : key_{static_cast<std::uint32_t>(key),
+             static_cast<std::uint32_t>(key >> 32)},
+        block_(k >> 2),
+        lane_(static_cast<std::uint32_t>(k & 3)) {}
+
+  /// The next 32-bit draw word (draw indices advance by one per call).
+  std::uint32_t NextWord() {
+    const Philox4x32::Counter out = Philox4x32::Block(
+        {static_cast<std::uint32_t>(block_),
+         static_cast<std::uint32_t>(block_ >> 32),
+         static_cast<std::uint32_t>(draw_),
+         static_cast<std::uint32_t>(draw_ >> 32)},
+        key_);
+    ++draw_;
+    return out[lane_];
+  }
+
+  /// Uniform double in [0, 1) at 2^-32 resolution (one word per call;
+  /// v2 trades v1's 53-bit uniforms for half the Philox work — the
+  /// models' distributions are far coarser than either).
+  double NextDouble() {
+    return static_cast<double>(NextWord()) * 0x1.0p-32;
+  }
+
+  /// Uniform 64-bit word from two draw words (hi then lo).
+  std::uint64_t NextUint64() {
+    const std::uint64_t hi = NextWord();
+    const std::uint64_t lo = NextWord();
+    return (hi << 32) | lo;
+  }
+
+  std::uint64_t draw_index() const { return draw_; }
+
+ private:
+  Philox4x32::Key key_;
+  std::uint64_t block_;
+  std::uint32_t lane_;
+  std::uint64_t draw_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Draw planes: dst[i] is the draw of sample (k_begin + i) — one Philox
+// block per four lanes, bit-identical to CounterStream(key, k_begin + i)
+// consuming the same draw indices.
+// ---------------------------------------------------------------------------
+
+/// Uniform plane: dst[i] = uniform [0,1) word of sample k_begin+i at
+/// `draw_idx` (consumes one draw index).
+void DrawSpan(std::span<double> dst, std::size_t k_begin, std::uint64_t key,
+              std::uint64_t draw_idx);
+
+/// Convenience overload matching the (call_site, salt) naming the rest of
+/// the stack uses; derives the key internally.
+void DrawSpan(std::span<double> dst, std::size_t k_begin,
+              std::uint64_t master_seed, std::uint64_t call_site,
+              std::uint64_t stream_salt, std::uint64_t draw_idx);
+
+/// Standard-normal plane via the trigonometric Box-Muller transform,
+/// exactly as RandomStream::Gaussian computes it (consumes draw indices
+/// draw_idx and draw_idx + 1).
+void GaussianPlane(std::span<double> dst, std::size_t k_begin,
+                   std::uint64_t key, std::uint64_t draw_idx);
+
+/// Exponential(lambda) plane by inversion, exactly as
+/// RandomStream::Exponential (consumes one draw index).
+void ExponentialPlane(std::span<double> dst, std::size_t k_begin,
+                      std::uint64_t key, std::uint64_t draw_idx,
+                      double lambda);
+
+}  // namespace jigsaw

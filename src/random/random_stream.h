@@ -5,11 +5,19 @@
 /// functions. All distribution algorithms are implemented explicitly (no
 /// std::*_distribution) so that a given seed produces bit-identical sample
 /// sequences on every platform — the property fingerprints depend on.
+///
+/// A stream draws its uniforms from one of two sources, fixed at
+/// construction: a seeded Xoshiro256 engine (seed-schema v1) or a
+/// counter-based CounterStream (schema v2, see draw_plane.h). The
+/// distribution algorithms above the uniform layer are shared, so a v2
+/// plane kernel that replicates the uniform mapping reproduces the full
+/// distribution draw bit-for-bit.
 
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "random/draw_plane.h"
 #include "random/xoshiro256.h"
 
 namespace jigsaw {
@@ -18,11 +26,20 @@ class RandomStream {
  public:
   explicit RandomStream(std::uint64_t seed) : engine_(seed) {}
 
-  /// Uniform 64-bit word.
-  std::uint64_t NextUint64() { return engine_.Next(); }
+  /// Schema-v2 stream: all uniforms come from `counter`; the engine
+  /// member stays zero-state and untouched.
+  explicit RandomStream(const CounterStream& counter)
+      : counter_(counter), counter_based_(true) {}
 
-  /// Uniform double in [0, 1) with 53 bits of precision.
+  /// Uniform 64-bit word.
+  std::uint64_t NextUint64() {
+    return counter_based_ ? counter_.NextUint64() : engine_.Next();
+  }
+
+  /// Uniform double in [0, 1): 53 bits of precision under schema v1,
+  /// 32 bits (one Philox word) under schema v2.
   double NextDouble() {
+    if (counter_based_) return counter_.NextDouble();
     return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
   }
 
@@ -75,6 +92,8 @@ class RandomStream {
 
  private:
   Xoshiro256 engine_;
+  CounterStream counter_{0, 0};
+  bool counter_based_ = false;
 };
 
 }  // namespace jigsaw

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "random/draw_plane.h"
 #include "random/philox.h"
 #include "random/random_stream.h"
 #include "random/seed_vector.h"
@@ -132,6 +133,29 @@ TEST(SeedVectorDeterminismTest, EnsureSizeDoesNotDisturbExistingSeeds) {
   for (std::size_t k = 0; k < 16; ++k) ASSERT_EQ(seeds.seed(k), before[k]);
 }
 
+TEST(SeedVectorDeterminismTest, EnsureSizeIsAppendStable) {
+  // Entry k is always the k'th SplitMix64(master) output, no matter how
+  // growth was chunked: a vector grown 4 -> 9 -> 64 is element-identical
+  // to one constructed at 64 (interactive mode depends on this when it
+  // lazily extends fingerprints).
+  SeedVector grown(kSeed, 4);
+  grown.EnsureSize(9);
+  grown.EnsureSize(9);   // idempotent
+  grown.EnsureSize(64);
+  const SeedVector fresh(kSeed, 64);
+  ASSERT_EQ(grown.size(), fresh.size());
+  for (std::size_t k = 0; k < 64; ++k) {
+    ASSERT_EQ(grown.seed(k), fresh.seed(k)) << "entry " << k;
+  }
+}
+
+TEST(SeedVectorDeterminismTest, SeedSpanBoundsIncludeFullAndEmptyViews) {
+  SeedVector seeds(kSeed, 16);
+  EXPECT_EQ(seeds.seed_span(0, 16).size(), 16u);
+  EXPECT_EQ(seeds.seed_span(16, 0).size(), 0u);
+  EXPECT_EQ(seeds.seed_span(15, 1).front(), seeds.seed(15));
+}
+
 // ---------------------------------------------------------------------------
 // Scheduling independence
 // ---------------------------------------------------------------------------
@@ -172,6 +196,183 @@ TEST(SeedVectorDeterminismTest, ConcurrentDrawsMatchSerialDraws) {
     std::memcpy(&b, &threaded[k], sizeof b);
     ASSERT_EQ(a, b) << "sample " << k << " differs bitwise";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Schema v2: counter streams and draw planes
+// ---------------------------------------------------------------------------
+
+TEST(CounterStreamTest, PureFunctionOfKeyAndSample) {
+  const std::uint64_t key = DrawKey(kSeed, 3);
+  CounterStream a(key, 17), b(key, 17);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(a.NextWord(), b.NextWord());
+  // Draining one sample's stream never perturbs a sibling's: there is no
+  // shared state at all, only (key, sample, draw index).
+  CounterStream drained(key, 16);
+  for (int i = 0; i < 1000; ++i) drained.NextWord();
+  CounterStream c(key, 17), d(key, 17);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(c.NextWord(), d.NextWord());
+}
+
+TEST(CounterStreamTest, DistinctCellsGetDistinctStreams) {
+  std::set<std::uint32_t> firsts;
+  for (std::size_t k = 0; k < 16; ++k) {
+    for (std::uint64_t site = 0; site < 4; ++site) {
+      firsts.insert(CounterStream(DrawKey(kSeed, site), k).NextWord());
+    }
+  }
+  EXPECT_EQ(firsts.size(), 64u);
+}
+
+TEST(CounterStreamTest, AdjacentLanesShareABlock) {
+  // Samples 4t..4t+3 at one draw index are the four words of a single
+  // Philox block — the fact the plane kernels amortize on.
+  const std::uint64_t key = DrawKey(kSeed, 0);
+  const Philox4x32::Counter block = Philox4x32::Block(
+      {2, 0, 0, 0}, {static_cast<std::uint32_t>(key),
+                     static_cast<std::uint32_t>(key >> 32)});
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(CounterStream(key, 8 + lane).NextWord(), block[lane]);
+  }
+}
+
+TEST(DrawPlaneTest, UniformPlaneMatchesCounterStreamEverywhere) {
+  const std::uint64_t key = DrawKey(kSeed, 11);
+  // Unaligned starts and sizes spanning partial head/tail groups.
+  for (std::size_t k_begin : {0u, 1u, 2u, 3u, 5u}) {
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u}) {
+      for (std::uint64_t draw : {0u, 1u, 6u}) {
+        std::vector<double> plane(n);
+        DrawSpan(plane, k_begin, key, draw);
+        for (std::size_t i = 0; i < n; ++i) {
+          CounterStream scalar(key, k_begin + i);
+          for (std::uint64_t d = 0; d < draw; ++d) scalar.NextWord();
+          ASSERT_EQ(plane[i], scalar.NextDouble())
+              << "k_begin=" << k_begin << " n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DrawPlaneTest, GaussianPlaneMatchesScalarStream) {
+  const std::uint64_t key = DrawKey(kSeed, 4);
+  for (std::size_t k_begin : {0u, 3u, 5u}) {
+    std::vector<double> plane(9);
+    GaussianPlane(plane, k_begin, key, /*draw_idx=*/2);
+    for (std::size_t i = 0; i < plane.size(); ++i) {
+      RandomStream scalar(CounterStream(key, k_begin + i));
+      scalar.NextDouble();  // draws 0-1 belong to an earlier plane
+      scalar.NextDouble();
+      std::uint64_t a, b;
+      const double want = scalar.Gaussian();
+      std::memcpy(&a, &plane[i], sizeof a);
+      std::memcpy(&b, &want, sizeof b);
+      ASSERT_EQ(a, b) << "lane " << i;
+    }
+  }
+}
+
+TEST(DrawPlaneTest, ExponentialPlaneMatchesScalarStream) {
+  const std::uint64_t key = DrawKey(kSeed, 9);
+  for (std::size_t k_begin : {0u, 1u, 2u}) {
+    std::vector<double> plane(7);
+    ExponentialPlane(plane, k_begin, key, /*draw_idx=*/0, /*lambda=*/2.5);
+    for (std::size_t i = 0; i < plane.size(); ++i) {
+      RandomStream scalar(CounterStream(key, k_begin + i));
+      std::uint64_t a, b;
+      const double want = scalar.Exponential(2.5);
+      std::memcpy(&a, &plane[i], sizeof a);
+      std::memcpy(&b, &want, sizeof b);
+      ASSERT_EQ(a, b) << "lane " << i;
+    }
+  }
+}
+
+TEST(DrawPlaneTest, SeedVectorStreamForMatchesCounterStream) {
+  const SeedVector seeds(kSeed, 32, SeedSchema::kV2);
+  for (std::size_t k : {0u, 1u, 7u, 31u}) {
+    RandomStream via_vector = seeds.StreamFor(k, 5);
+    CounterStream direct(DrawKey(kSeed, 5), k);
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(via_vector.NextUint64(), direct.NextUint64());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen golden draws. These pin both schemas' exact derivations: any
+// change to either sequence is a seed-schema break and must ship as a
+// NEW schema version, never silently (the determinism contract's gate).
+// ---------------------------------------------------------------------------
+
+TEST(GoldenDrawTest, SchemaV1FirstDrawsAreFrozen) {
+  const SeedVector seeds(kSeed, 8, SeedSchema::kV1);
+  const struct {
+    std::uint64_t site;
+    std::size_t k;
+    std::uint64_t want[4];
+  } kGolden[] = {
+      {0, 0, {0xE108ADAAF074F0B6ULL, 0x1E232F1423DB5025ULL,
+              0xD8D19C3AD84D2B93ULL, 0x1E8CE63407EE3147ULL}},
+      {0, 1, {0x61B509E179AE8A5BULL, 0xEFB421143E30F2AFULL,
+              0x203C59D438A212E0ULL, 0xA73EA3C695697ED8ULL}},
+      {0, 5, {0xF41375440240DB71ULL, 0x47843736944C1F62ULL,
+              0x1E17C50EE590A7A6ULL, 0x6446229DB89CDD8CULL}},
+      {7, 0, {0x85423F946D66D248ULL, 0x985EEE4AC5A2C46DULL,
+              0x1185E40A2EB80B43ULL, 0x6C9742C101651287ULL}},
+      {7, 2, {0x5ED4A3DFCB9555AEULL, 0x19B953392CB9DAA2ULL,
+              0xDC096A50CEE42B39ULL, 0xDB703B75007F4177ULL}},
+  };
+  for (const auto& g : kGolden) {
+    RandomStream s = seeds.StreamFor(g.k, g.site);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_EQ(s.NextUint64(), g.want[i])
+          << "v1 site=" << g.site << " k=" << g.k << " draw " << i;
+    }
+  }
+}
+
+TEST(GoldenDrawTest, SchemaV2FirstWordsAreFrozen) {
+  EXPECT_EQ(DrawKey(kSeed, 0), 0xDB948410E943DC1EULL);
+  EXPECT_EQ(DrawKey(kSeed, 7), 0xB7473CACC085B079ULL);
+  const struct {
+    std::uint64_t site;
+    std::size_t k;
+    std::uint32_t want[6];
+  } kGolden[] = {
+      {0, 0, {0x7B256599u, 0x23621476u, 0xF3BE0099u,
+              0x3AD36EFDu, 0x25007972u, 0xDEB4754Bu}},
+      {0, 1, {0x82E5AA82u, 0x794DD74Du, 0x304C4776u,
+              0xE637130Bu, 0x8F3934A0u, 0x0704EAD9u}},
+      {0, 5, {0x9DF8988Eu, 0x5EBECB51u, 0x9DA97DC3u,
+              0xB55D0DB1u, 0xB0D98228u, 0x0AB8C68Du}},
+      {7, 0, {0xA15A2F0Bu, 0x31FAB88Bu, 0xC103265Cu,
+              0x7523AFA0u, 0x36BADCB8u, 0x4F8A591Du}},
+      {7, 2, {0xFE74C1D3u, 0x565D5F8Au, 0x7002F8F6u,
+              0x0A87C437u, 0xB175AFEBu, 0x0E07BDE8u}},
+  };
+  for (const auto& g : kGolden) {
+    CounterStream c(DrawKey(kSeed, g.site), g.k);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_EQ(c.NextWord(), g.want[i])
+          << "v2 site=" << g.site << " k=" << g.k << " word " << i;
+    }
+  }
+}
+
+TEST(GoldenDrawTest, SchemasDivergeByConstruction) {
+  // Canary: if v1 and v2 ever agree on a draw the gate has collapsed
+  // (e.g. someone routed v2 through the v1 derivation "for compatibility").
+  const SeedVector v1(kSeed, 8, SeedSchema::kV1);
+  const SeedVector v2(kSeed, 8, SeedSchema::kV2);
+  int equal = 0;
+  for (std::size_t k = 0; k < 8; ++k) {
+    RandomStream a = v1.StreamFor(k, 0);
+    RandomStream b = v2.StreamFor(k, 0);
+    for (int i = 0; i < 8; ++i) equal += (a.NextUint64() == b.NextUint64());
+  }
+  EXPECT_EQ(equal, 0);
 }
 
 }  // namespace
