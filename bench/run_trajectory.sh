@@ -43,7 +43,32 @@ run_bench() {
   echo "recorded: $bench $* (ok=$ok, ${elapsed}s)" >&2
 }
 
+# Static-analysis tooling wall time rides along in the same trajectory:
+# if the determinism lint or the tidy driver creeps from seconds to
+# minutes it shows up here next to the bench rows. `tool` rows carry no
+# bench rows; tidy is recorded even when clang-tidy is absent (exit 3 →
+# ok:0 with skipped:1, so local GCC-only records are distinguishable
+# from real findings).
+run_tool() {
+  local name="$1"
+  shift
+  local start end rc ok skipped elapsed
+  start=$(date +%s.%N)
+  "$@" > /dev/null 2>&1
+  rc=$?
+  end=$(date +%s.%N)
+  ok=$([ "$rc" -eq 0 ] && echo 1 || echo 0)
+  skipped=$([ "$rc" -eq 3 ] && echo 1 || echo 0)
+  elapsed=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+  printf '{"commit":"%s","tool":"%s","args":"%s","ok":%s,"skipped":%s,"elapsed_s":%s}\n' \
+    "$COMMIT" "$name" "$*" "$ok" "$skipped" "$elapsed" >> "$OUT"
+  echo "recorded: tool $name (ok=$ok, skipped=$skipped, ${elapsed}s)" >&2
+}
+
 PIN="--num_samples=200 --batch_size=64 --num_threads=2"
+
+run_tool lint_determinism python3 tools/lint_determinism.py --root .
+run_tool clang_tidy bash tools/run_clang_tidy.sh "$BUILD"
 
 run_bench bench_batched_sampling $PIN --seed_schema=1
 run_bench bench_batched_sampling $PIN --seed_schema=2

@@ -1,0 +1,2 @@
+DECLARE PARAMETER @w AS SET (1,2);
+SELECT NoSuchModel(@w) AS x INTO results;

@@ -1,0 +1,1 @@
+SELECT CASE WHEN (DemandModel(@w,

@@ -1,0 +1,13 @@
+DECLARE PARAMETER @current_week AS RANGE 0 TO 24 STEP BY 2;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 16 STEP BY 8;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 16 STEP BY 8;
+DECLARE PARAMETER @feature_release AS SET (12,36);
+SELECT DemandModel(@current_week, @feature_release) AS demand,
+       CapacityModel(@current_week, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.01
+GROUP BY feature_release, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2

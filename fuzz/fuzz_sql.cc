@@ -1,0 +1,85 @@
+// Fuzz harness for the SQL front end: lexer -> parser -> binder.
+//
+// Property under test: for ARBITRARY bytes, every stage either returns a
+// value or an error Status — it never crashes, overflows, or hangs. The
+// front end is the only layer that consumes untrusted text (session
+// clients send scripts over the wire), so it gets the fuzzer.
+//
+// Dual mode:
+//   * Under Clang with JIGSAW_LIBFUZZER defined, this compiles against
+//     libFuzzer (-fsanitize=fuzzer provides main) for coverage-guided
+//     exploration:  ./fuzz_sql fuzz/corpus/sql -max_total_time=30
+//   * Elsewhere (GCC builds, this repo's default toolchain) a standalone
+//     main() below replays corpus files passed as arguments. Both modes
+//     accept "binary CORPUS_FILE..." so the fuzz_sql_corpus CTest is the
+//     same invocation either way.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "models/black_box.h"
+#include "models/cloud_models.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace {
+
+// One registry for the whole run: binding must not mutate it, and
+// rebuilding the cloud models per input would dominate the fuzz loop.
+// Leaked on purpose — libFuzzer's LSan run ignores still-reachable.
+const jigsaw::ModelRegistry& SharedRegistry() {
+  static const jigsaw::ModelRegistry* registry = [] {
+    auto* r = new jigsaw::ModelRegistry();
+    if (!jigsaw::RegisterCloudModels(r).ok()) std::abort();
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Lex and parse run on every input (they must reject garbage cleanly);
+  // the binder only sees scripts that survive the parser, mirroring the
+  // production pipeline. Results are intentionally discarded — the
+  // assertions here are the sanitizers and "no crash".
+  (void)jigsaw::sql::Lex(text);
+  if (jigsaw::sql::ParseScript(text).ok()) {
+    (void)jigsaw::sql::ParseAndBind(text, SharedRegistry());
+  }
+  return 0;
+}
+
+#ifndef JIGSAW_LIBFUZZER
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+// Corpus-replay driver for builds without libFuzzer. Skips flag-shaped
+// arguments so a libFuzzer-style command line still works.
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "fuzz_sql: cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string data = ss.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+    ++replayed;
+  }
+  std::printf("fuzz_sql: replayed %d corpus file(s), no crashes\n", replayed);
+  return 0;
+}
+#endif  // !JIGSAW_LIBFUZZER

@@ -12,7 +12,7 @@ Result<const Table*> WorldCache::GetOrGenerate(const VGTableFunction& fn,
       std::make_tuple(fn.name(), seeds.master_seed(),
                       static_cast<std::uint8_t>(seeds.schema()), sample_id);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return &it->second;
   }
@@ -21,7 +21,7 @@ Result<const Table*> WorldCache::GetOrGenerate(const VGTableFunction& fn,
   // tasks race on the same key both produce the identical table and the
   // losing copy is discarded without counting a generation.
   JIGSAW_ASSIGN_OR_RETURN(Table t, fn.Generate(sample_id, seeds));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = cache_.try_emplace(key, std::move(t));
   if (inserted) ++generations_;
   return &it->second;

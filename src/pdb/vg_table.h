@@ -14,12 +14,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 
 #include "pdb/table.h"
 #include "random/seed_vector.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace jigsaw::pdb {
@@ -56,27 +57,30 @@ class WorldCache {
   /// Returns the cached realization, generating it on first use.
   Result<const Table*> GetOrGenerate(const VGTableFunction& fn,
                                      std::size_t sample_id,
-                                     const SeedVector& seeds);
+                                     const SeedVector& seeds)
+      JIGSAW_EXCLUDES(mu_);
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const JIGSAW_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return cache_.size();
   }
-  std::uint64_t generation_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t generation_count() const JIGSAW_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return generations_;
   }
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() JIGSAW_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     cache_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  /// Map nodes are stable, so Table pointers handed out under one lock
+  /// scope stay valid after it — only the map structure needs the guard.
   std::map<std::tuple<std::string, std::uint64_t, std::uint8_t, std::size_t>,
            Table>
-      cache_;
-  std::uint64_t generations_ = 0;
+      cache_ JIGSAW_GUARDED_BY(mu_);
+  std::uint64_t generations_ JIGSAW_GUARDED_BY(mu_) = 0;
 };
 
 /// The synthetic user-population VG table behind the UserSelection

@@ -82,7 +82,7 @@ Result<std::shared_ptr<const ScriptSnapshot>> SessionServer::Publish(
   // Copy-on-write swap: runs holding the previous catalog pointer keep
   // an unchanged view; new runs pick up the new snapshot.
   std::shared_ptr<const ScriptSnapshot> published = std::move(snapshot);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto next = std::make_shared<Catalog>(*catalog_);
   (*next)[name] = published;
   catalog_ = std::move(next);
@@ -100,7 +100,7 @@ Result<Session*> SessionServer::TryConnect(const SessionOptions& options) {
         "schema; snapshots are pinned to the schema they were built "
         "under");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::uint64_t id = next_session_id_++;
   RunConfig config = base_;
   if (!options.shared_namespace) {
@@ -121,12 +121,12 @@ Session& SessionServer::Connect(const SessionOptions& options) {
 }
 
 std::shared_ptr<const Catalog> SessionServer::catalog() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return catalog_;
 }
 
 std::size_t SessionServer::session_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sessions_.size();
 }
 

@@ -46,7 +46,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -60,6 +59,8 @@
 #include "pdb/vg_table.h"
 #include "sql/binder.h"
 #include "sql/script_runner.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -185,36 +186,45 @@ class SessionServer {
   /// bind errors — nothing is published on failure.
   Result<std::shared_ptr<const ScriptSnapshot>> Publish(
       const std::string& name, const std::string& text,
-      const PublishOptions& options = {});
+      const PublishOptions& options = {}) JIGSAW_EXCLUDES(mu_);
 
   /// Admits a new client session. Thread-safe; the returned session is
   /// valid for the server's lifetime. Fails (binding error) when the
   /// options request a seed schema other than the server's — every
   /// published snapshot is pinned to the base schema, so a mixed-schema
   /// session could never run one.
-  Result<Session*> TryConnect(const SessionOptions& options = {});
+  Result<Session*> TryConnect(const SessionOptions& options = {})
+      JIGSAW_EXCLUDES(mu_);
 
   /// Convenience wrapper for the common can't-fail case; CHECK-fails on
   /// a schema mismatch (use TryConnect to handle it as a Status).
   Session& Connect(const SessionOptions& options = {});
 
   /// Current catalog handle (copy-on-write: never mutated in place).
-  std::shared_ptr<const Catalog> catalog() const;
+  std::shared_ptr<const Catalog> catalog() const JIGSAW_EXCLUDES(mu_);
 
   const ModelRegistry* registry() const { return registry_; }
   const RunConfig& base_config() const { return base_; }
   ThreadPool* pool() { return pool_.get(); }
-  std::size_t session_count() const;
+  std::size_t session_count() const JIGSAW_EXCLUDES(mu_);
 
  private:
+  /// registry_, base_ and pool_ are set in the constructor and immutable
+  /// afterwards: every thread may read them without mu_.
   const ModelRegistry* registry_;
   RunConfig base_;
   std::unique_ptr<ThreadPool> pool_;  ///< the ONE shared worker pool
 
-  mutable std::mutex mu_;  ///< guards catalog_ swaps and sessions_
-  std::shared_ptr<const Catalog> catalog_;
-  std::vector<std::unique_ptr<Session>> sessions_;
-  std::uint64_t next_session_id_ = 0;
+  mutable Mutex mu_;  ///< guards catalog_ swaps and sessions_
+  /// COW handle: replaced (never mutated in place) under mu_; readers
+  /// copy the shared_ptr under mu_ and then use the immutable Catalog
+  /// lock-free. The pointee is const, so only the handle needs the guard.
+  std::shared_ptr<const Catalog> catalog_ JIGSAW_GUARDED_BY(mu_);
+  /// Sessions are deque-of-unique_ptr-stable: the pointers handed to
+  /// clients outlive the vector's growth; only the vector itself is
+  /// guarded.
+  std::vector<std::unique_ptr<Session>> sessions_ JIGSAW_GUARDED_BY(mu_);
+  std::uint64_t next_session_id_ JIGSAW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace jigsaw::serve

@@ -16,27 +16,45 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     JIGSAW_CHECK_MSG(!stop_, "submit on stopped pool");
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) cv_idle_.Wait(&mu_);
 }
+
+namespace {
+
+/// Per-ParallelFor-call completion state, owned by the caller's stack:
+/// when the pool is shared by several client threads, a caller must wait
+/// for exactly its own chunks — WaitIdle would block on every other
+/// client's in-flight work too (and with another session continuously
+/// submitting, might never return). The tasks reference this struct; the
+/// wait in ParallelFor keeps it alive until the last chunk has signalled.
+/// `pending` is guarded by the per-call mutex so the analysis checks the
+/// chunk tasks' decrements the same way it checks pool-wide state.
+struct Completion {
+  Mutex mu;
+  CondVar cv;
+  std::size_t pending JIGSAW_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
 
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
@@ -44,41 +62,33 @@ void ThreadPool::ParallelFor(std::size_t count,
   const std::size_t chunks = std::min(count, num_threads() * 4);
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
 
-  // Per-call completion state, on the caller's stack: when the pool is
-  // shared by several client threads, a caller must wait for exactly its
-  // own chunks — WaitIdle would block on every other client's in-flight
-  // work too (and with another session continuously submitting, might
-  // never return). The tasks reference these locals; the wait below keeps
-  // them alive until the last chunk has signalled.
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::size_t pending = 0;
+  Completion done;
 
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunk_size;
     const std::size_t end = std::min(begin + chunk_size, count);
     if (begin >= end) break;
     {
-      std::unique_lock<std::mutex> lock(done_mu);
-      ++pending;
+      MutexLock lock(&done.mu);
+      ++done.pending;
     }
-    Submit([&fn, &done_mu, &done_cv, &pending, begin, end] {
+    Submit([&fn, &done, begin, end] {
       for (std::size_t i = begin; i < end; ++i) fn(i);
-      std::unique_lock<std::mutex> lock(done_mu);
-      if (--pending == 0) done_cv.notify_all();
+      MutexLock lock(&done.mu);
+      if (--done.pending == 0) done.cv.NotifyAll();
     });
   }
 
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&pending] { return pending == 0; });
+  MutexLock lock(&done.mu);
+  while (done.pending != 0) done.cv.Wait(&done.mu);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_task_.Wait(&mu_);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -88,9 +98,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
+      if (in_flight_ == 0) cv_idle_.NotifyAll();
     }
   }
 }

@@ -11,14 +11,24 @@
 /// call, so a caller waits only for its own tasks — never for work another
 /// client enqueued — and concurrent ParallelFor calls simply interleave
 /// their chunks in the submission queue.
+///
+/// Lock discipline (machine-checked by the Clang thread-safety analysis,
+/// see util/annotations.h): mu_ guards the submission queue, the in-flight
+/// count and the stop flag; cv_task_ wakes workers on submission or stop,
+/// cv_idle_ wakes WaitIdle when the pool drains. workers_ is written only
+/// in the constructor and joined in the destructor, so it needs no guard.
+/// The per-call ParallelFor completion state is a stack-owned Completion
+/// whose pending count is guarded by its own per-call mutex — see the
+/// struct in thread_pool.cc.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace jigsaw {
 
@@ -31,12 +41,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) JIGSAW_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished — pool-wide, across
   /// all clients. Prefer ParallelFor, whose wait is scoped to its own
   /// tasks, when the pool is shared.
-  void WaitIdle();
+  void WaitIdle() JIGSAW_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, count) across the pool and waits. Chunked to
   /// keep queue overhead low for fine-grained bodies. Completion is
@@ -45,20 +55,25 @@ class ThreadPool {
   /// finish). Must not be called from inside a pool task — a worker
   /// blocked here would deadlock the pool it is supposed to drain.
   void ParallelFor(std::size_t count,
-                   const std::function<void(std::size_t)>& fn);
+                   const std::function<void(std::size_t)>& fn)
+      JIGSAW_EXCLUDES(mu_);
 
   std::size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() JIGSAW_EXCLUDES(mu_);
 
+  /// Immutable after construction (ctor spawns, dtor joins): safe to read
+  /// from any thread without mu_.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+
+  Mutex mu_;
+  std::queue<std::function<void()>> queue_ JIGSAW_GUARDED_BY(mu_);
+  /// Tasks submitted but not yet finished (queued + executing).
+  std::size_t in_flight_ JIGSAW_GUARDED_BY(mu_) = 0;
+  bool stop_ JIGSAW_GUARDED_BY(mu_) = false;
+  CondVar cv_task_;  ///< signalled on Submit and on stop
+  CondVar cv_idle_;  ///< signalled when in_flight_ reaches 0
 };
 
 }  // namespace jigsaw

@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/basis_store.h"
@@ -527,6 +529,54 @@ TEST(BasisStoreTest, UnrelatedShapesCreateSeparateBases) {
   store.Insert(FP({0, 1, 4, 9}), {});
   EXPECT_EQ(store.size(), 2u);
   EXPECT_FALSE(store.FindMatch(FP({3, 1, 0, 2})).has_value());
+}
+
+// Regression for the const-path locking fix (PR 8): size()/stats()/Get()
+// used to read mutex-guarded state without the lock, so probing a shared
+// thread-safe store while writers were active was a data race (TSan-
+// visible once the annotations forced the accessors through mu_). Now the
+// accessors lock on the thread-safe path, so concurrent readers observe
+// consistent counters mid-run. Run under TSan to machine-check.
+TEST(BasisStoreTest, AccessorsAreSafeDuringConcurrentWrites) {
+  BasisStore store(LinearMappingFinder::Make(), IndexKind::kNormalization,
+                   kTol, 1e-6, /*thread_safe=*/true);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 64;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&store, &go, w] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerWriter; ++i) {
+        // Distinct quadratic shapes so every insert lands a new basis.
+        const double a = 1.0 + w * kPerWriter + i;
+        store.Insert(FP({0, a, 4 * a, 9 * a}), {});
+        store.FindMatch(FP({0, a, 4 * a, 9 * a}));
+      }
+    });
+  }
+  threads.emplace_back([&store, &go] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    // Concurrent const-path reads: must be racefree and monotone.
+    std::size_t last = 0;
+    for (int i = 0; i < 200; ++i) {
+      const std::size_t n = store.size();
+      EXPECT_GE(n, last);
+      last = n;
+      const BasisStoreStats snap = store.stats();
+      EXPECT_GE(snap.lookups, snap.hits);
+      if (n > 0) store.Get(0);
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kWriters * kPerWriter));
+  const BasisStoreStats final_stats = store.stats();
+  EXPECT_EQ(final_stats.lookups,
+            static_cast<std::uint64_t>(kWriters * kPerWriter));
 }
 
 }  // namespace

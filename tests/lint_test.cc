@@ -1,0 +1,188 @@
+// Self-test for tools/lint_determinism.py: proves each rule actually
+// fires on a minimal synthetic violation (and stays quiet on the
+// deterministic twin of the same pattern). The lint guards the draw
+// discipline — if a rule silently stopped matching, nondeterminism could
+// land unnoticed, so the rules themselves get regression coverage here.
+//
+// The real tree is checked by the `determinism_lint` CTest, which runs
+// the script over src/ and fails on any finding.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef JIGSAW_LINT_SCRIPT
+#error "build must define JIGSAW_LINT_SCRIPT (path to lint_determinism.py)"
+#endif
+
+bool PythonAvailable() {
+  return std::system("python3 --version > /dev/null 2>&1") == 0;
+}
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Writes `source` to a temp file and lints it (plus optional siblings,
+/// for cross-file rules). Returns the exit code and combined output.
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!PythonAvailable()) GTEST_SKIP() << "python3 not on PATH";
+    dir_ = ::testing::TempDir() + "lint_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+  }
+
+  std::string WriteFile(const std::string& name, const std::string& source) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream out(path);
+    out << source;
+    return path;
+  }
+
+  LintResult Lint(const std::string& files) {
+    const std::string out_path = dir_ + "/lint_output.txt";
+    const std::string cmd = std::string("python3 ") + JIGSAW_LINT_SCRIPT +
+                            " " + files + " > " + out_path + " 2>&1";
+    LintResult r;
+    const int status = std::system(cmd.c_str());
+    r.exit_code = WEXITSTATUS(status);
+    std::ifstream in(out_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    r.output = ss.str();
+    return r;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LintTest, CleanFilePasses) {
+  const std::string f = WriteFile("clean.cc", R"(
+#include <cstdint>
+constexpr std::uint64_t kAlphaSalt = 0x1111ULL;
+constexpr std::uint64_t kBetaSalt = 0x2222ULL;
+double Draw(RandomStream& rng) { return rng.NextDouble(); }
+)");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, DuplicateSaltValueAcrossFilesFires) {
+  const std::string a = WriteFile("a.cc",
+      "constexpr std::uint64_t kAlphaSalt = 0xABCDEFULL;\n");
+  const std::string b = WriteFile("b.cc",
+      "constexpr std::uint64_t kBetaSalt = 0xABCDEFULL;\n");
+  const LintResult r = Lint(a + " " + b);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("duplicate-salt"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("aliased draw streams"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, DuplicateSaltNameInOneFileFires) {
+  const std::string f = WriteFile("dup.cc",
+      "constexpr std::uint64_t kStepTag = 0x1ULL;\n"
+      "constexpr std::uint64_t kStepTag = 0x2ULL;\n");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("already declared"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RandCallFires) {
+  const std::string f = WriteFile("r.cc",
+      "int Draw() { return rand() % 6; }\n");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("banned-rand"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RandInsideIdentifierOrStringDoesNotFire) {
+  const std::string f = WriteFile("ok.cc",
+      "int operand(int x) { return x; }\n"
+      "const char* kMsg = \"rand() is banned\";\n"
+      "int y = operand(2);\n");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, RandomDeviceFires) {
+  const std::string f = WriteFile("rd.cc",
+      "#include <random>\nstd::random_device rd;\n");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("banned-random-device"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, TimeNullptrFires) {
+  const std::string f = WriteFile("t.cc",
+      "#include <ctime>\nlong Seed() { return time(nullptr); }\n");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("banned-time"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, ChronoNowFires) {
+  const std::string f = WriteFile("c.cc",
+      "#include <chrono>\n"
+      "auto T() { return std::chrono::steady_clock::now(); }\n");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("banned-clock-now"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, AllowCommentSuppressesBannedFinding) {
+  const std::string f = WriteFile("s.cc",
+      "auto T() { return std::chrono::steady_clock::now(); }"
+      "  // lint:allow-nondeterminism one-shot startup stamp\n");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, UnorderedMapIterationFires) {
+  const std::string f = WriteFile("u.cc",
+      "#include <unordered_map>\n"
+      "#include <string>\n"
+      "std::unordered_map<std::string, double> totals_;\n"
+      "double Report() {\n"
+      "  double s = 0;\n"
+      "  for (const auto& [k, v] : totals_) { s += v; }\n"
+      "  return s;\n"
+      "}\n");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unordered-iteration"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, UnorderedPointLookupDoesNotFire) {
+  // find()/operator[] access is order-independent — only iteration is
+  // flagged. Ordered containers never are.
+  const std::string f = WriteFile("ok2.cc",
+      "#include <map>\n#include <unordered_map>\n"
+      "std::unordered_map<int, double> cache_;\n"
+      "std::map<int, double> ordered_;\n"
+      "double Get(int k) { return cache_.count(k) ? cache_[k] : 0.0; }\n"
+      "double Sum() {\n"
+      "  double s = 0;\n"
+      "  for (const auto& [k, v] : ordered_) { s += v; }\n"
+      "  return s;\n"
+      "}\n");
+  const LintResult r = Lint(f);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace

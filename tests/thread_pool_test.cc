@@ -1,6 +1,41 @@
 // Tests for the worker pool underpinning parallel sample evaluation and
 // the parallel sweep: ParallelFor index coverage, WaitIdle blocking
 // semantics, and clean shutdown while producers are still submitting.
+//
+// ---------------------------------------------------------------------------
+// Negative-compile reference: what the thread-safety annotations reject
+// ---------------------------------------------------------------------------
+// ThreadPool's queue_, in_flight_ and stop_ are JIGSAW_GUARDED_BY(mu_), and
+// the ParallelFor per-call Completion::pending is guarded by its per-call
+// mutex. Under the clang-analysis CI job (-Wthread-safety
+// -Werror=thread-safety) each of the following — the bug classes TSan can
+// only catch probabilistically — is a BUILD BREAK, not a test flake. They
+// are kept here as comments because a positive build must stay green; to
+// reproduce a rejection, paste one into thread_pool.cc and build with
+// clang.
+//
+//   // (a) Unguarded read of a guarded field: "reading variable 'in_flight_'
+//   //     requires holding mutex 'mu_'"
+//   std::size_t ThreadPool::Depth() { return in_flight_; }
+//
+//   // (b) Forgotten unlock on an early return: "mutex 'mu_' is still held
+//   //     at the end of function" (manual Lock without the MutexLock scope)
+//   void ThreadPool::Broken() { mu_.Lock(); if (stop_) return; mu_.Unlock(); }
+//
+//   // (c) Waiting on a condition variable without its mutex: CondVar::Wait
+//   //     is JIGSAW_REQUIRES(mu) — "calling function 'Wait' requires
+//   //     holding mutex 'mu_' exclusively"
+//   void ThreadPool::BadWait() { cv_idle_.Wait(&mu_); }
+//
+//   // (d) Calling a JIGSAW_EXCLUDES(mu_) method with mu_ held (the
+//   //     self-deadlock shape: Submit inside a locked scope): "cannot call
+//   //     function 'Submit' while mutex 'mu_' is held"
+//   void ThreadPool::Reenter() { MutexLock l(&mu_); Submit([] {}); }
+//
+//   // (e) Touching another call's completion state without its lock:
+//   //     "reading variable 'pending' requires holding mutex 'done.mu'"
+//   ... inside ParallelFor: if (done.pending == 0) return;  // before lock
+// ---------------------------------------------------------------------------
 
 #include <gtest/gtest.h>
 
@@ -10,10 +45,76 @@
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace jigsaw {
 namespace {
+
+// The annotated primitives must behave exactly like the raw std types
+// they wrap: Mutex provides mutual exclusion, MutexLock scopes it,
+// CondVar::Wait releases/reacquires, MutexLockMaybe disengages cleanly.
+TEST(AnnotatedMutexTest, MutexLockExcludesConcurrentCriticalSections) {
+  Mutex mu;
+  int counter = 0;  // guarded by mu by convention (local: not annotatable)
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(AnnotatedMutexTest, CondVarWaitReleasesAndReacquires) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    // If Wait failed to release mu, the signaller could never set ready
+    // and this would deadlock (caught by the 300s CTest timeout).
+    while (!ready) cv.Wait(&mu);
+    EXPECT_TRUE(ready);
+  }
+  signaller.join();
+}
+
+TEST(AnnotatedMutexTest, MutexLockMaybeDisengagedLeavesMutexFree) {
+  Mutex mu;
+  {
+    MutexLockMaybe lock(&mu, /*enabled=*/false);
+    // Disengaged: the mutex must still be acquirable (no self-deadlock).
+    EXPECT_TRUE(mu.TryLock());
+    mu.Unlock();
+  }
+  {
+    MutexLockMaybe lock(&mu, /*enabled=*/true);
+    // try_lock from the owning thread is UB on std::mutex, so probe from
+    // a second thread: it must see the mutex held.
+    bool acquired = true;
+    std::thread probe([&mu, &acquired] {
+      acquired = mu.TryLock();
+      if (acquired) mu.Unlock();
+    });
+    probe.join();
+    EXPECT_FALSE(acquired);
+  }
+  // Engaged scope released on destruction.
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
 
 TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   ThreadPool pool(0);

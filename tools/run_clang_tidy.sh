@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Diff-aware clang-tidy driver.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [BUILD_DIR] [BASE_REF]
+#
+#   BUILD_DIR  build tree with compile_commands.json (default: build).
+#              Configured automatically if missing.
+#   BASE_REF   git ref to diff against; only .cc files changed since the
+#              merge-base with it are linted (headers pull in the .cc files
+#              of their directory, since headers are only checked through
+#              an including TU). Default: origin/main if it exists, else
+#              HEAD~1. Pass "all" to lint every .cc under src/.
+#
+# Environment:
+#   CLANG_TIDY       binary to use (default: first of clang-tidy,
+#                    clang-tidy-{19..14} on PATH)
+#   JIGSAW_TIDY_WERROR=0  downgrade findings to warnings (exit 0). Default
+#                    is gating: any finding exits nonzero.
+#
+# Exits 0 when clean or when there is nothing to lint; 3 when clang-tidy
+# is not installed (so callers can distinguish "clean" from "not run").
+
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BASE_REF="${2:-}"
+
+# --- locate clang-tidy ------------------------------------------------------
+TIDY="${CLANG_TIDY:-}"
+if [ -z "${TIDY}" ]; then
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+              clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${cand}" > /dev/null 2>&1; then
+      TIDY="${cand}"
+      break
+    fi
+  done
+fi
+if [ -z "${TIDY}" ]; then
+  echo "run_clang_tidy: no clang-tidy on PATH (set CLANG_TIDY=...); " \
+       "skipping — install clang-tidy or rely on the clang-analysis CI job" >&2
+  exit 3
+fi
+
+# --- ensure a compilation database -----------------------------------------
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "run_clang_tidy: configuring ${BUILD_DIR} for compile_commands.json"
+  cmake -B "${BUILD_DIR}" -S . > /dev/null || exit 1
+fi
+
+# --- pick files -------------------------------------------------------------
+declare -a files=()
+if [ "${BASE_REF}" = "all" ]; then
+  while IFS= read -r f; do files+=("$f"); done \
+    < <(git ls-files 'src/*.cc')
+else
+  if [ -z "${BASE_REF}" ]; then
+    if git rev-parse --verify -q origin/main > /dev/null; then
+      BASE_REF="origin/main"
+    else
+      BASE_REF="HEAD~1"
+    fi
+  fi
+  base="$(git merge-base "${BASE_REF}" HEAD 2> /dev/null || echo "${BASE_REF}")"
+  changed="$(git diff --name-only "${base}" -- 'src/*.cc' 'src/*.h' \
+             2> /dev/null)"
+  if [ -z "${changed}" ]; then
+    echo "run_clang_tidy: no src/ changes since ${base}; nothing to lint"
+    exit 0
+  fi
+  # Headers are analyzed through including TUs: a changed .h adds every
+  # .cc in its directory to the lint set.
+  declare -A seen=()
+  while IFS= read -r f; do
+    case "$f" in
+      *.cc)
+        [ -f "$f" ] && seen["$f"]=1
+        ;;
+      *.h)
+        for sib in "$(dirname "$f")"/*.cc; do
+          [ -f "$sib" ] && seen["$sib"]=1
+        done
+        ;;
+    esac
+  done <<< "${changed}"
+  for f in "${!seen[@]}"; do files+=("$f"); done
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no lintable .cc files; nothing to do"
+  exit 0
+fi
+
+# --- run --------------------------------------------------------------------
+WERROR_FLAG="--warnings-as-errors=*"
+if [ "${JIGSAW_TIDY_WERROR:-1}" = "0" ]; then
+  WERROR_FLAG="--warnings-as-errors="
+fi
+
+echo "run_clang_tidy: ${TIDY} over ${#files[@]} file(s)" \
+     "(db: ${BUILD_DIR}/compile_commands.json)"
+status=0
+# Sorted for stable output; sequential keeps diagnostics readable and the
+# changed-file sets small enough that parallelism isn't worth the
+# interleaving.
+while IFS= read -r f; do
+  echo "--- ${f}"
+  "${TIDY}" -p "${BUILD_DIR}" --quiet "${WERROR_FLAG}" "${f}" || status=1
+done < <(printf '%s\n' "${files[@]}" | sort)
+
+if [ "${status}" -ne 0 ]; then
+  echo "run_clang_tidy: findings above (gate: JIGSAW_TIDY_WERROR=1)" >&2
+else
+  echo "run_clang_tidy: clean"
+fi
+exit "${status}"
