@@ -1,0 +1,201 @@
+// Columnar possible-worlds storage at scale: materialize N-row uncertain
+// tables across W worlds and fold every numeric column, on both storage
+// representations.
+//
+// For each row count the fold runs three ways:
+//
+//   boxed    — columnar_storage=false, serial: each world realized as a
+//              Table of variant Values, columns staged through
+//              NumericColumn copies (the pre-columnar semantics);
+//   columnar — columnar_storage=true, serial: worlds realized straight
+//              into typed ColumnChunk buffers, kDouble columns folded
+//              zero-copy via Estimator::AddSpan;
+//   parallel — columnar with --num_threads workers, one world-chunk
+//              extent per pool task (the shard-ownership rule).
+//
+// Every run's metrics fold into a bitwise checksum; the binary exits
+// non-zero if any representation diverges — CI smoke-runs it as the
+// machine check that the columnar path is a bit-identical twin. The
+// interesting series are tuples/sec (columnar/boxed is the paper-scale
+// speedup claim) and peak RSS, which proves the 1e6 x 8 sweep fits in
+// memory. ru_maxrss is a process-wide high-water mark, so row counts run
+// ascending and each row reports the watermark *after* its run.
+//
+// Every row is a JSON-lines record on stdout; a human summary goes to
+// stderr. Flags: --num_samples=W (worlds) --num_threads=N
+// --batch_size=N --seed_schema={1,2} (bench_common.h).
+
+#include "bench_common.h"
+
+#include <sys/resource.h>
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "pdb/monte_carlo.h"
+#include "pdb/vg_table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jigsaw;
+using bench::BenchFlags;
+using bench::EmitJsonLine;
+using bench::JsonLineBuilder;
+
+/// Order-sensitive bitwise fold (FNV-1a over the raw doubles).
+class Checksum {
+ public:
+  void FoldMetrics(const OutputMetrics& m) {
+    const double fields[] = {static_cast<double>(m.count),
+                             m.mean,
+                             m.stddev,
+                             m.std_error,
+                             m.min,
+                             m.max,
+                             m.p50,
+                             m.p95};
+    for (double x : fields) {
+      std::uint64_t u;
+      std::memcpy(&u, &x, sizeof u);
+      h_ = (h_ ^ u) * 0x100000001b3ULL;
+    }
+  }
+  void FoldColumns(const std::map<std::string, OutputMetrics>& columns) {
+    for (const auto& [name, m] : columns) FoldMetrics(m);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+/// Process peak RSS in bytes (ru_maxrss is KiB on Linux).
+double PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;
+}
+
+struct RunResult {
+  double elapsed_s = 0.0;
+  std::uint64_t tuples = 0;  ///< rows x worlds materialized and folded
+  std::uint64_t checksum = 0;
+  bool ok = true;
+};
+
+RunResult DriveFold(const pdb::VGTableFunction& fn, std::size_t rows,
+                    const BenchFlags& flags, bool columnar,
+                    std::size_t threads) {
+  RunConfig cfg;
+  cfg.num_samples = flags.num_samples;
+  // Threaded runs shard worlds into at least one extent per worker
+  // (chunking only moves AddSpan boundaries, which the estimator
+  // contract keeps bit-identical).
+  cfg.batch_size =
+      threads > 1
+          ? std::min(flags.batch_size,
+                     std::max<std::size_t>(1, flags.num_samples / threads))
+          : flags.batch_size;
+  cfg.num_threads = threads;
+  cfg.seed_schema = bench::SchemaFromFlags(flags);
+  cfg.columnar_storage = columnar;
+  const SeedVector seeds(cfg.master_seed, flags.num_samples,
+                         cfg.seed_schema);
+  const std::vector<std::string> columns = {"demand", "cost"};
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  RunResult r;
+  WallTimer timer;
+  auto metrics = pdb::FoldVGColumns(fn, columns, flags.num_samples, seeds,
+                                    cfg, pool.get());
+  r.elapsed_s = timer.ElapsedSeconds();
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "fold failed: %s\n",
+                 metrics.status().ToString().c_str());
+    r.ok = false;
+    return r;
+  }
+  Checksum sum;
+  sum.FoldColumns(metrics.value());
+  r.checksum = sum.value();
+  r.tuples = static_cast<std::uint64_t>(rows) * flags.num_samples;
+  return r;
+}
+
+void EmitRow(const std::string& mode, std::size_t rows, std::size_t threads,
+             const BenchFlags& flags, const RunResult& r) {
+  JsonLineBuilder row;
+  row.Str("bench", "columnar_worlds")
+      .Str("mode", mode)
+      .Num("rows", static_cast<double>(rows))
+      .Num("worlds", static_cast<double>(flags.num_samples))
+      .Num("batch_size", static_cast<double>(flags.batch_size))
+      .Num("num_threads", static_cast<double>(threads))
+      .Num("seed_schema", static_cast<double>(flags.seed_schema))
+      .Num("elapsed_s", r.elapsed_s)
+      .Num("tuples_per_sec",
+           r.elapsed_s > 0.0 ? static_cast<double>(r.tuples) / r.elapsed_s
+                             : 0.0)
+      .Num("peak_rss_bytes", PeakRssBytes())
+      .Num("checksum", static_cast<double>(r.checksum >> 12));
+  EmitJsonLine(std::cout, row);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = bench::ParseBenchFlags(&argc, argv);
+  if (flags.num_samples == 1000) flags.num_samples = 8;  // worlds default
+  if (flags.batch_size == 0) flags.batch_size = 1;
+  if (flags.num_threads == 0) flags.num_threads = 1;
+  // Ascending so each size's peak-RSS watermark is its own: the 1e6 row
+  // is the memory acceptance check.
+  const std::vector<std::size_t> row_counts =
+      bench::FullScale()
+          ? std::vector<std::size_t>{10'000, 100'000, 1'000'000, 4'000'000}
+          : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+
+  bool checksums_ok = true;
+  for (std::size_t rows : row_counts) {
+    const auto fn = pdb::MakeScalingItemsVGTable(rows);
+    const RunResult boxed = DriveFold(*fn, rows, flags, false, 1);
+    EmitRow("boxed", rows, 1, flags, boxed);
+    const RunResult columnar = DriveFold(*fn, rows, flags, true, 1);
+    EmitRow("columnar", rows, 1, flags, columnar);
+    const RunResult parallel =
+        DriveFold(*fn, rows, flags, true, flags.num_threads);
+    EmitRow("parallel", rows, flags.num_threads, flags, parallel);
+
+    const bool same = boxed.ok && columnar.ok && parallel.ok &&
+                      boxed.checksum == columnar.checksum &&
+                      columnar.checksum == parallel.checksum;
+    const double speedup = columnar.elapsed_s > 0.0
+                               ? boxed.elapsed_s / columnar.elapsed_s
+                               : 0.0;
+    const double scaling = parallel.elapsed_s > 0.0
+                               ? columnar.elapsed_s / parallel.elapsed_s
+                               : 0.0;
+    std::fprintf(stderr,
+                 "rows=%-8zu worlds=%zu  columnar/boxed %5.2fx  "
+                 "parallel(%zu) %5.2fx  rss %.0f MiB  checksums %s\n",
+                 rows, flags.num_samples, speedup, flags.num_threads,
+                 scaling, PeakRssBytes() / (1024.0 * 1024.0),
+                 same ? "match" : "MISMATCH");
+    checksums_ok = checksums_ok && same;
+  }
+
+  if (!checksums_ok) {
+    std::fprintf(stderr,
+                 "FAIL: columnar fold diverged from boxed reference\n");
+    return 1;
+  }
+  return 0;
+}

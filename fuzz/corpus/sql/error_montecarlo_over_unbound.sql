@@ -1,0 +1,3 @@
+DECLARE PARAMETER @w AS SET (1, 2);
+SELECT DemandModel(@w, 4) AS demand INTO r;
+MONTECARLO OVER @ghost IN (1, 2);

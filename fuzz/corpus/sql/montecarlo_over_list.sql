@@ -1,0 +1,4 @@
+DECLARE PARAMETER @w AS RANGE 0 TO 63 STEP BY 1;
+SELECT DemandModel(@w, 36) AS demand,
+       CapacityModel(@w, 8, 8) AS capacity INTO r;
+MONTECARLO OVER @w IN (0, 8, 16, 24);

@@ -74,6 +74,14 @@ struct RunConfig {
   /// either way.
   ThreadPool* shared_pool = nullptr;
 
+  /// Store possible-world realizations as contiguous typed column chunks
+  /// (ColumnarTable) instead of boxed Value rows: VG generators bulk-fill
+  /// column spans, estimator folds read them zero-copy, and boxed rows
+  /// materialize only at the Report/CSV interop edges. The boxed path is
+  /// the bit-identity reference twin (same draws, same metrics, same
+  /// errors in the same order); false forces it everywhere.
+  bool columnar_storage = true;
+
   /// Run SQL-bound expressions through the compiled BatchProgram path
   /// when the binder produced one. The compiled path is bit-identical to
   /// the interpreted Expr::Eval walk; false forces the interpreter

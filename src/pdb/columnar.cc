@@ -1,0 +1,369 @@
+#include "pdb/columnar.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace jigsaw::pdb {
+
+namespace {
+
+/// Null slots still occupy a lane in the value buffer so spans stay
+/// dense; quiet NaN keeps an accidental read of a null double loud.
+constexpr double kNullDouble = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+void ColumnChunk::Reserve(std::size_t n) {
+  switch (type_) {
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kInt:
+      ints_.reserve(n);
+      break;
+    case ValueType::kBool:
+      bools_.reserve(n);
+      break;
+    case ValueType::kString:
+      codes_.reserve(n);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+void ColumnChunk::MarkNull() {
+  const std::size_t word = size_ >> 6;
+  if (null_words_.size() <= word) null_words_.resize(word + 1, 0);
+  null_words_[word] |= std::uint64_t{1} << (size_ & 63);
+  ++null_count_;
+}
+
+void ColumnChunk::AppendDouble(double v) {
+  JIGSAW_DCHECK(type_ == ValueType::kDouble);
+  doubles_.push_back(v);
+  ++size_;
+}
+
+void ColumnChunk::AppendInt(std::int64_t v) {
+  JIGSAW_DCHECK(type_ == ValueType::kInt);
+  ints_.push_back(v);
+  ++size_;
+}
+
+void ColumnChunk::AppendBool(bool v) {
+  JIGSAW_DCHECK(type_ == ValueType::kBool);
+  bools_.push_back(v ? 1 : 0);
+  ++size_;
+}
+
+void ColumnChunk::AppendString(const std::string& v) {
+  codes_.push_back(InternString(v));
+  ++size_;
+}
+
+std::uint32_t ColumnChunk::InternString(const std::string& v) {
+  JIGSAW_DCHECK(type_ == ValueType::kString);
+  auto [it, inserted] =
+      dict_index_.try_emplace(v, static_cast<std::uint32_t>(dict_.size()));
+  if (inserted) dict_.push_back(v);
+  return it->second;
+}
+
+void ColumnChunk::AppendNull() {
+  MarkNull();
+  switch (type_) {
+    case ValueType::kDouble:
+      doubles_.push_back(kNullDouble);
+      break;
+    case ValueType::kInt:
+      ints_.push_back(0);
+      break;
+    case ValueType::kBool:
+      bools_.push_back(0);
+      break;
+    case ValueType::kString:
+      codes_.push_back(0);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  ++size_;
+}
+
+std::span<double> ColumnChunk::AppendDoubleSpan(std::size_t n) {
+  JIGSAW_DCHECK(type_ == ValueType::kDouble);
+  const std::size_t begin = doubles_.size();
+  doubles_.resize(begin + n, 0.0);
+  size_ += n;
+  return std::span<double>(doubles_).subspan(begin, n);
+}
+
+std::span<std::int64_t> ColumnChunk::AppendIntSpan(std::size_t n) {
+  JIGSAW_DCHECK(type_ == ValueType::kInt);
+  const std::size_t begin = ints_.size();
+  ints_.resize(begin + n, 0);
+  size_ += n;
+  return std::span<std::int64_t>(ints_).subspan(begin, n);
+}
+
+std::span<std::uint8_t> ColumnChunk::AppendBoolSpan(std::size_t n) {
+  JIGSAW_DCHECK(type_ == ValueType::kBool);
+  const std::size_t begin = bools_.size();
+  bools_.resize(begin + n, 0);
+  size_ += n;
+  return std::span<std::uint8_t>(bools_).subspan(begin, n);
+}
+
+std::span<std::uint32_t> ColumnChunk::AppendCodeSpan(std::size_t n) {
+  JIGSAW_DCHECK(type_ == ValueType::kString);
+  const std::size_t begin = codes_.size();
+  codes_.resize(begin + n, 0);
+  size_ += n;
+  return std::span<std::uint32_t>(codes_).subspan(begin, n);
+}
+
+Status ColumnChunk::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (v.type() != type_) {
+    return Status::InvalidArgument(
+        StrFormat("value of type %s does not fit column of type %s",
+                  ValueTypeName(v.type()), ValueTypeName(type_)));
+  }
+  switch (type_) {
+    case ValueType::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case ValueType::kInt:
+      AppendInt(v.AsInt());
+      break;
+    case ValueType::kBool:
+      AppendBool(v.AsBool());
+      break;
+    case ValueType::kString:
+      AppendString(v.AsString());
+      break;
+    case ValueType::kNull:
+      // Unreachable: a kNull chunk only ever receives nulls (handled
+      // above); a non-null value cannot match type kNull.
+      return Status::Internal("non-null value in null-typed column");
+  }
+  return Status::OK();
+}
+
+Value ColumnChunk::BoxValue(std::size_t i) const {
+  JIGSAW_DCHECK(i < size_);
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case ValueType::kDouble:
+      return Value(doubles_[i]);
+    case ValueType::kInt:
+      return Value(ints_[i]);
+    case ValueType::kBool:
+      return Value(bools_[i] != 0);
+    case ValueType::kString:
+      return Value(dict_[codes_[i]]);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+bool ColumnChunk::SameContent(const ColumnChunk& other) const {
+  if (type_ != other.type_ || size_ != other.size_ ||
+      null_count_ != other.null_count_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (IsNull(i) != other.IsNull(i)) return false;
+    if (IsNull(i)) continue;
+    switch (type_) {
+      case ValueType::kDouble:
+        // Bitwise, not operator==: the determinism contract is about
+        // identical bits, and NaN payloads must compare too.
+        if (std::bit_cast<std::uint64_t>(doubles_[i]) !=
+            std::bit_cast<std::uint64_t>(other.doubles_[i])) {
+          return false;
+        }
+        break;
+      case ValueType::kInt:
+        if (ints_[i] != other.ints_[i]) return false;
+        break;
+      case ValueType::kBool:
+        if (bools_[i] != other.bools_[i]) return false;
+        break;
+      case ValueType::kString:
+        if (dict_[codes_[i]] != other.dict_[other.codes_[i]]) return false;
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+  return true;
+}
+
+ColumnarTable::ColumnarTable(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (std::size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.emplace_back(schema_.column(i).type);
+  }
+}
+
+void ColumnarTable::Reserve(std::size_t n) {
+  for (auto& c : columns_) c.Reserve(n);
+}
+
+Status ColumnarTable::AppendRow(const Row& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %zu", row.size(),
+                  columns_.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (Status s = columns_[i].AppendValue(row[i]); !s.ok()) {
+      // Keep the chunks aligned: roll nothing forward on failure. The
+      // columns before `i` already accepted a slot, so the table is
+      // poisoned for further appends — surface that loudly.
+      return Status(s.code(),
+                    StrFormat("column '%s': %s",
+                              schema_.column(i).name.c_str(),
+                              s.message().c_str()));
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status ColumnarTable::CommitAppendedRows() {
+  const std::size_t n = columns_.empty() ? num_rows_ : columns_[0].size();
+  for (const auto& c : columns_) {
+    if (c.size() != n) {
+      return Status::Internal(
+          StrFormat("bulk append left columns ragged (%zu vs %zu rows)",
+                    c.size(), n));
+    }
+  }
+  num_rows_ = n;
+  return Status::OK();
+}
+
+void ColumnarTable::BoxRow(std::size_t i, Row* out) const {
+  out->clear();
+  out->reserve(columns_.size());
+  for (const auto& c : columns_) out->push_back(c.BoxValue(i));
+}
+
+Result<ColumnarTable> ColumnarTable::FromTable(const Table& t) {
+  ColumnarTable out(t.schema());
+  out.Reserve(t.num_rows());
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    JIGSAW_RETURN_IF_ERROR(out.AppendRow(t.row(r)));
+  }
+  return out;
+}
+
+Result<Table> ColumnarTable::ToTable() const {
+  Table out(schema_);
+  out.Reserve(num_rows_);
+  Row row;
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    BoxRow(r, &row);
+    // Values come straight out of typed chunks, so they match the
+    // declared schema by construction; skip re-validation.
+    out.AppendRowUnchecked(std::move(row));
+    row = Row{};
+  }
+  return out;
+}
+
+Result<std::span<const double>> ColumnarTable::NumericSpan(
+    const std::string& name) const {
+  JIGSAW_ASSIGN_OR_RETURN(std::size_t idx, schema_.IndexOf(name));
+  const ColumnChunk& c = columns_[idx];
+  if (c.type() != ValueType::kDouble || c.null_count() != 0) {
+    if (c.type() == ValueType::kInt || c.type() == ValueType::kBool) {
+      return Status::ExecutionError(
+          "column '" + name + "' is not span-addressable; use NumericColumn");
+    }
+    // Identical text to the boxed Table::NumericColumn failure so the
+    // two storage paths surface the same error.
+    return Status::ExecutionError("column '" + name + "' is not numeric");
+  }
+  return c.Doubles();
+}
+
+Result<std::vector<double>> ColumnarTable::NumericColumn(
+    const std::string& name) const {
+  JIGSAW_ASSIGN_OR_RETURN(std::size_t idx, schema_.IndexOf(name));
+  const ColumnChunk& c = columns_[idx];
+  std::vector<double> out;
+  out.reserve(num_rows_);
+  switch (c.type()) {
+    case ValueType::kDouble: {
+      if (c.null_count() == 0) {
+        const auto span = c.Doubles();
+        out.assign(span.begin(), span.end());
+        return out;
+      }
+      break;  // nulls: fall through to the boxed-identical error below
+    }
+    case ValueType::kInt: {
+      if (c.null_count() == 0) {
+        for (std::int64_t v : c.Ints()) {
+          out.push_back(static_cast<double>(v));
+        }
+        return out;
+      }
+      break;
+    }
+    case ValueType::kBool: {
+      if (c.null_count() == 0) {
+        for (std::uint8_t v : c.Bools()) out.push_back(v ? 1.0 : 0.0);
+        return out;
+      }
+      break;
+    }
+    case ValueType::kString:
+    case ValueType::kNull:
+      break;
+  }
+  return Status::ExecutionError("column '" + name + "' is not numeric");
+}
+
+bool ColumnarTable::SameContent(const ColumnarTable& other) const {
+  if (num_rows_ != other.num_rows_ ||
+      columns_.size() != other.columns_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (schema_.column(i).name != other.schema_.column(i).name) return false;
+    if (!columns_[i].SameContent(other.columns_[i])) return false;
+  }
+  return true;
+}
+
+std::string ColumnarTable::ToString(std::size_t max_rows) const {
+  std::string out = schema_.ToString() + " [columnar]\n";
+  Row row;
+  for (std::size_t i = 0; i < num_rows_ && i < max_rows; ++i) {
+    BoxRow(i, &row);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += row[c].ToString();
+    }
+    out += '\n';
+  }
+  if (num_rows_ > max_rows) {
+    out += StrFormat("... (%zu rows total)\n", num_rows_);
+  }
+  return out;
+}
+
+}  // namespace jigsaw::pdb

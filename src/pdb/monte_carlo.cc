@@ -353,6 +353,216 @@ FoldPointWorldSpans(std::span<const std::string> column_names,
                                  /*name_points=*/num_points > 1);
 }
 
+Result<std::map<std::string, OutputMetrics>> FoldVGColumns(
+    const VGTableFunction& fn, std::span<const std::string> column_names,
+    std::size_t num_worlds, const SeedVector& seeds, const RunConfig& config,
+    ThreadPool* pool, WorldCache* cache) {
+  // A VG table's schema is world-invariant, so requested columns resolve
+  // up front — a bad name or a non-numeric column fails before any
+  // realization, on both storage paths, with the boxed error text.
+  const Schema& schema = fn.schema();
+  std::vector<std::size_t> slots;
+  slots.reserve(column_names.size());
+  for (const auto& name : column_names) {
+    JIGSAW_ASSIGN_OR_RETURN(std::size_t idx, schema.IndexOf(name));
+    const ValueType t = schema.column(idx).type;
+    if (t != ValueType::kDouble && t != ValueType::kInt &&
+        t != ValueType::kBool) {
+      return Status::ExecutionError("column '" + name + "' is not numeric");
+    }
+    slots.push_back(idx);
+  }
+
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
+  const std::size_t num_chunks =
+      num_worlds == 0 ? 0 : (num_worlds + batch - 1) / batch;
+  std::vector<Estimator> estimators(
+      slots.size(), Estimator(config.keep_samples, config.histogram_bins));
+
+  // Folds rows [first, last) of one realized chunk column into slot s.
+  // kDouble with no nulls is the zero-copy fast path; int/bool widen
+  // through a copy; a null anywhere is non-numeric, as in the boxed walk.
+  auto fold_column = [&](const ColumnChunk& col, std::size_t first,
+                         std::size_t last, std::size_t s,
+                         const std::string& name) -> Status {
+    if (col.null_count() != 0) {
+      for (std::size_t r = first; r < last; ++r) {
+        if (col.IsNull(r)) {
+          return Status::ExecutionError("column '" + name +
+                                        "' is not numeric");
+        }
+      }
+    }
+    switch (col.type()) {
+      case ValueType::kDouble:
+        estimators[s].AddSpan(col.Doubles().subspan(first, last - first));
+        return Status::OK();
+      case ValueType::kInt: {
+        std::vector<double> widened;
+        widened.reserve(last - first);
+        for (std::size_t r = first; r < last; ++r) {
+          widened.push_back(static_cast<double>(col.Ints()[r]));
+        }
+        estimators[s].AddSpan(widened);
+        return Status::OK();
+      }
+      case ValueType::kBool: {
+        std::vector<double> widened;
+        widened.reserve(last - first);
+        for (std::size_t r = first; r < last; ++r) {
+          widened.push_back(col.Bools()[r] != 0 ? 1.0 : 0.0);
+        }
+        estimators[s].AddSpan(widened);
+        return Status::OK();
+      }
+      case ValueType::kString:
+      case ValueType::kNull:
+        return Status::ExecutionError("column '" + name + "' is not numeric");
+    }
+    return Status::OK();
+  };
+
+  if (config.columnar_storage) {
+    // Shard-ownership rule: cell `chunk` is the only writer of its
+    // extent, so parallel realization needs no synchronization.
+    struct Cell {
+      WorldExtent extent;
+      std::vector<const ColumnarTable*> cached;
+      Status status = Status::OK();
+    };
+    std::vector<Cell> cells(num_chunks);
+    auto run_cell = [&](std::size_t chunk) {
+      Cell& cell = cells[chunk];
+      const std::size_t begin = chunk * batch;
+      const std::size_t end = std::min(begin + batch, num_worlds);
+      if (cache != nullptr) {
+        cell.cached.reserve(end - begin);
+        for (std::size_t w = begin; w < end; ++w) {
+          auto r = cache->GetOrGenerateColumnar(fn, w, seeds);
+          if (!r.ok()) {
+            cell.status = r.status();
+            return;
+          }
+          cell.cached.push_back(r.value());
+        }
+      } else {
+        cell.extent.world_begin = begin;
+        for (std::size_t w = begin; w < end; ++w) {
+          if (Status s = cell.extent.AppendWorld(fn, w, seeds); !s.ok()) {
+            cell.status = std::move(s);
+            return;
+          }
+        }
+      }
+    };
+    if (pool != nullptr && num_chunks >= 2) {
+      pool->ParallelFor(num_chunks, run_cell);
+    } else {
+      for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        run_cell(chunk);
+        if (!cells[chunk].status.ok()) break;
+      }
+    }
+    // Chunk-order scan surfaces the lowest failing world's error, same
+    // as the serial loop, regardless of pool schedule.
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      if (!cells[chunk].status.ok()) return std::move(cells[chunk].status);
+    }
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      Cell& cell = cells[chunk];
+      const std::size_t begin = chunk * batch;
+      const std::size_t end = std::min(begin + batch, num_worlds);
+      for (std::size_t k = 0; k < end - begin; ++k) {
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+          if (cache != nullptr) {
+            const ColumnarTable& t = *cell.cached[k];
+            JIGSAW_RETURN_IF_ERROR(fold_column(t.column(slots[s]), 0,
+                                               t.num_rows(), s,
+                                               column_names[s]));
+          } else {
+            const auto [first, last] = cell.extent.WorldRows(k);
+            JIGSAW_RETURN_IF_ERROR(fold_column(cell.extent.data.column(
+                                                   slots[s]),
+                                               first, last, s,
+                                               column_names[s]));
+          }
+        }
+      }
+      // Release the shard as soon as it folds; the estimators own their
+      // accumulation, so keeping extents alive would double the peak.
+      cell = Cell{};
+    }
+  } else {
+    // Boxed reference twin: whole Tables, copying NumericColumn
+    // extraction, staged per cell and merged in chunk order (AddSpan of
+    // a concatenation is bit-identical to per-world AddSpan).
+    struct BoxCell {
+      std::vector<std::vector<double>> buffers;
+      Status status = Status::OK();
+    };
+    std::vector<BoxCell> cells(num_chunks);
+    auto run_cell = [&](std::size_t chunk) {
+      BoxCell& cell = cells[chunk];
+      cell.buffers.resize(slots.size());
+      const std::size_t begin = chunk * batch;
+      const std::size_t end = std::min(begin + batch, num_worlds);
+      for (std::size_t w = begin; w < end; ++w) {
+        const Table* table = nullptr;
+        Table local;
+        if (cache != nullptr) {
+          auto r = cache->GetOrGenerate(fn, w, seeds);
+          if (!r.ok()) {
+            cell.status = r.status();
+            return;
+          }
+          table = r.value();
+        } else {
+          auto r = fn.Generate(w, seeds);
+          if (!r.ok()) {
+            cell.status = r.status();
+            return;
+          }
+          local = std::move(r).value();
+          table = &local;
+        }
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+          auto col = table->NumericColumn(column_names[s]);
+          if (!col.ok()) {
+            cell.status = col.status();
+            return;
+          }
+          const std::vector<double>& values = col.value();
+          cell.buffers[s].insert(cell.buffers[s].end(), values.begin(),
+                                 values.end());
+        }
+      }
+    };
+    if (pool != nullptr && num_chunks >= 2) {
+      pool->ParallelFor(num_chunks, run_cell);
+    } else {
+      for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        run_cell(chunk);
+        if (!cells[chunk].status.ok()) break;
+      }
+    }
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      if (!cells[chunk].status.ok()) return std::move(cells[chunk].status);
+    }
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        estimators[s].AddSpan(cells[chunk].buffers[s]);
+      }
+      cells[chunk] = BoxCell{};
+    }
+  }
+
+  std::map<std::string, OutputMetrics> out;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    out.emplace(column_names[s], estimators[s].Finalize());
+  }
+  return out;
+}
+
 Result<MonteCarloResult> MonteCarloExecutor::Run(
     const PlanFactory& make_plan, std::span<const double> params) {
   auto run_world = [&](std::size_t world) -> Result<Table> {
@@ -361,6 +571,7 @@ Result<MonteCarloResult> MonteCarloExecutor::Run(
     ctx.params = params;
     ctx.sample_id = world;
     ctx.seeds = &seeds_;
+    ctx.columnar_storage = config_.columnar_storage;
     return ExecuteToTable(*plan, ctx);
   };
   MonteCarloResult result;
@@ -391,6 +602,7 @@ Result<std::vector<MonteCarloResult>> MonteCarloExecutor::RunSweep(
     ctx.params = valuations[point];
     ctx.sample_id = world;
     ctx.seeds = &seeds_;
+    ctx.columnar_storage = config_.columnar_storage;
     return ExecuteToTable(*plan, ctx);
   };
   JIGSAW_ASSIGN_OR_RETURN(

@@ -26,6 +26,7 @@
 #include "core/metrics.h"
 #include "core/run_config.h"
 #include "pdb/operators.h"
+#include "pdb/vg_table.h"
 #include "random/seed_vector.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -123,6 +124,28 @@ FoldPointWorldSpans(std::span<const std::string> column_names,
                     std::size_t num_points, std::size_t num_worlds,
                     const RunConfig& config, ThreadPool* pool,
                     const PointWorldSpanFn& run_span);
+
+/// Tuple-level possible-worlds fold: realizes `fn` in every world of
+/// [0, num_worlds) and folds each requested numeric column's values —
+/// every tuple of every world, concatenated in (world, row) order — into
+/// an OutputMetrics distribution summary. This is the columnar hot loop:
+/// under config.columnar_storage each batch_size world chunk is realized
+/// into a WorldExtent owned by exactly one pool task (the shard-ownership
+/// rule — zero cross-task writes), generators bulk-fill column spans, and
+/// the merge reads the chunk buffers zero-copy through Estimator::AddSpan
+/// in world order. With the gate off, the boxed twin generates `Table`s
+/// and extracts columns through the copying Table::NumericColumn — same
+/// draws, bit-identical metrics, identical error text and ordering (the
+/// serial run stops at the first failing chunk; a parallel run surfaces
+/// the same lowest failing chunk's error).
+///
+/// With a non-null `cache`, realizations go through the WorldCache (in
+/// whichever representation the gate selects) instead of per-fold
+/// extents, sharing worlds with other consumers of the same seeds.
+Result<std::map<std::string, OutputMetrics>> FoldVGColumns(
+    const VGTableFunction& fn, std::span<const std::string> column_names,
+    std::size_t num_worlds, const SeedVector& seeds, const RunConfig& config,
+    ThreadPool* pool, WorldCache* cache = nullptr);
 
 namespace internal {
 /// Test hook: when nonzero, overrides the staged-doubles budget that

@@ -605,7 +605,10 @@ Result<Table> ExecuteToTable(PlanNode& plan, EvalContext& ctx) {
   for (;;) {
     JIGSAW_ASSIGN_OR_RETURN(bool has, plan.Next(&row));
     if (!has) break;
-    out.AddRow(std::move(row));
+    // Plan schemas are dynamically typed (ProjectNode declares kDouble by
+    // default even when an expression emits strings), so materialization
+    // bypasses AddRow's declared-type validation.
+    out.AppendRowUnchecked(std::move(row));
     row = Row{};
   }
   plan.Close();

@@ -27,10 +27,41 @@ std::string Schema::ToString() const {
   return "(" + Join(parts, ", ") + ")";
 }
 
-void Table::AddRow(Row row) {
-  JIGSAW_CHECK_MSG(row.size() == schema_.num_columns(),
-                   "row arity " << row.size() << " != schema arity "
-                                << schema_.num_columns());
+bool ValueFitsColumn(const Value& v, ValueType declared) {
+  if (v.is_null()) return true;
+  switch (declared) {
+    case ValueType::kInt:
+    case ValueType::kDouble:
+    case ValueType::kBool:
+      return v.IsNumeric();
+    case ValueType::kString:
+      return v.type() == ValueType::kString;
+    case ValueType::kNull:
+      return false;
+  }
+  return false;
+}
+
+Status Table::AddRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %zu", row.size(),
+                  schema_.num_columns()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (!ValueFitsColumn(row[i], schema_.column(i).type)) {
+      return Status::InvalidArgument(StrFormat(
+          "column '%s': value of type %s does not fit declared type %s",
+          schema_.column(i).name.c_str(), ValueTypeName(row[i].type()),
+          ValueTypeName(schema_.column(i).type)));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::AppendRowUnchecked(Row row) {
+  JIGSAW_DCHECK(row.size() == schema_.num_columns());
   rows_.push_back(std::move(row));
 }
 
@@ -86,7 +117,7 @@ Result<Table> Table::FromCsv(const std::string& text, const Schema& schema) {
           Value v, Value::Parse(fields[i], schema.column(i).type));
       row.push_back(std::move(v));
     }
-    out.AddRow(std::move(row));
+    JIGSAW_RETURN_IF_ERROR(out.AddRow(std::move(row)));
   }
   return out;
 }

@@ -20,6 +20,11 @@ struct Column {
   ValueType type = ValueType::kDouble;
 };
 
+/// True if `v` may be stored in a column declared as `declared`: nulls
+/// always fit, the numeric family (int/double/bool) is mutually
+/// compatible, strings require a string-declared column.
+bool ValueFitsColumn(const Value& v, ValueType declared);
+
 class Schema {
  public:
   Schema() = default;
@@ -54,7 +59,20 @@ class Table {
   const Row& row(std::size_t i) const { return rows_[i]; }
   const std::vector<Row>& rows() const { return rows_; }
 
-  void AddRow(Row row);
+  /// Validated ingestion: the row must match the schema's arity, and each
+  /// value must fit its declared column type (nulls always fit; the
+  /// numeric family int/double/bool is interchangeable into a
+  /// numeric-declared column, matching Value::AsDouble coercion; a
+  /// string-declared column only takes strings).
+  [[nodiscard]] Status AddRow(Row row);
+
+  /// Unvalidated ingestion for plan materialization: Volcano operators
+  /// are dynamically typed (plan schemas default to kDouble even when an
+  /// expression emits strings), so ExecuteToTable and the columnar
+  /// un-boxing path append without the type check. Arity is still
+  /// enforced in debug builds.
+  void AppendRowUnchecked(Row row);
+
   void Reserve(std::size_t n) { rows_.reserve(n); }
 
   /// Extracts one numeric column as doubles (estimator input).

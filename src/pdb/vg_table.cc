@@ -1,35 +1,133 @@
 #include "pdb/vg_table.h"
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
 #include "models/cloud_models.h"
 #include "util/hash.h"
+#include "util/string_util.h"
 
 namespace jigsaw::pdb {
+
+Status VGTableFunction::GenerateColumnarInto(std::size_t sample_id,
+                                             const SeedVector& seeds,
+                                             ColumnarTable* out) const {
+  // Boxing adapter for generators that predate the columnar store: one
+  // realization through the boxed path, row-appended into the chunks.
+  JIGSAW_ASSIGN_OR_RETURN(Table t, Generate(sample_id, seeds));
+  out->Reserve(out->num_rows() + t.num_rows());
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    JIGSAW_RETURN_IF_ERROR(out->AppendRow(t.row(r)));
+  }
+  return Status::OK();
+}
+
+Result<ColumnarTable> VGTableFunction::GenerateColumnar(
+    std::size_t sample_id, const SeedVector& seeds) const {
+  ColumnarTable out(schema());
+  JIGSAW_RETURN_IF_ERROR(GenerateColumnarInto(sample_id, seeds, &out));
+  return out;
+}
+
+Status WorldExtent::AppendWorld(const VGTableFunction& fn,
+                                std::size_t sample_id,
+                                const SeedVector& seeds) {
+  if (data.num_columns() == 0) data = ColumnarTable(fn.schema());
+  const std::size_t first_row = data.num_rows();
+  row_offsets.push_back(first_row);
+  JIGSAW_RETURN_IF_ERROR(fn.GenerateColumnarInto(sample_id, seeds, &data));
+  for (std::int64_t& w : world_ids.AppendIntSpan(data.num_rows() - first_row)) {
+    w = static_cast<std::int64_t>(sample_id);
+  }
+  return Status::OK();
+}
+
+WorldCache::Key WorldCache::MakeKey(const VGTableFunction& fn,
+                                    std::size_t sample_id,
+                                    const SeedVector& seeds) {
+  return std::make_tuple(fn.name(), seeds.master_seed(),
+                         static_cast<std::uint8_t>(seeds.schema()), sample_id);
+}
 
 Result<const Table*> WorldCache::GetOrGenerate(const VGTableFunction& fn,
                                                std::size_t sample_id,
                                                const SeedVector& seeds) {
-  const auto key =
-      std::make_tuple(fn.name(), seeds.master_seed(),
-                      static_cast<std::uint8_t>(seeds.schema()), sample_id);
+  const Key key = MakeKey(fn, sample_id, seeds);
+  const ColumnarTable* columnar = nullptr;
   {
     MutexLock lock(&mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return &it->second;
+    if (it != cache_.end()) {
+      if (it->second.boxed) return it->second.boxed.get();
+      // The realization exists in columnar form; un-box it outside the
+      // lock (the pointee is immutable and never replaced once set).
+      columnar = it->second.columnar.get();
+    }
   }
-  // Generate outside the lock so distinct worlds realize concurrently.
-  // Realizations are pure functions of (seeds, sample_id), so if two
-  // tasks race on the same key both produce the identical table and the
-  // losing copy is discarded without counting a generation.
-  JIGSAW_ASSIGN_OR_RETURN(Table t, fn.Generate(sample_id, seeds));
+  std::unique_ptr<const Table> boxed;
+  bool generated = false;
+  if (columnar != nullptr) {
+    JIGSAW_ASSIGN_OR_RETURN(Table t, columnar->ToTable());
+    boxed = std::make_unique<const Table>(std::move(t));
+  } else {
+    // Generate outside the lock so distinct worlds realize concurrently.
+    // Realizations are pure functions of (seeds, sample_id), so if two
+    // tasks race on the same key both produce the identical table and the
+    // losing copy is discarded without counting a generation.
+    JIGSAW_ASSIGN_OR_RETURN(Table t, fn.Generate(sample_id, seeds));
+    boxed = std::make_unique<const Table>(std::move(t));
+    generated = true;
+  }
   MutexLock lock(&mu_);
-  auto [it, inserted] = cache_.try_emplace(key, std::move(t));
-  if (inserted) ++generations_;
-  return &it->second;
+  WorldEntry& entry = cache_[key];
+  if (!entry.boxed) {
+    // A generation is counted only when a generator ran AND this install
+    // is the entry's first representation — conversions and race losers
+    // never move the count, so it stays one per distinct world.
+    if (generated && !entry.columnar) ++generations_;
+    entry.boxed = std::move(boxed);
+  }
+  return entry.boxed.get();
+}
+
+Result<const ColumnarTable*> WorldCache::GetOrGenerateColumnar(
+    const VGTableFunction& fn, std::size_t sample_id,
+    const SeedVector& seeds) {
+  const Key key = MakeKey(fn, sample_id, seeds);
+  const Table* boxed = nullptr;
+  {
+    MutexLock lock(&mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (it->second.columnar) return it->second.columnar.get();
+      boxed = it->second.boxed.get();
+    }
+  }
+  std::unique_ptr<const ColumnarTable> columnar;
+  bool generated = false;
+  if (boxed != nullptr) {
+    JIGSAW_ASSIGN_OR_RETURN(ColumnarTable t, ColumnarTable::FromTable(*boxed));
+    columnar = std::make_unique<const ColumnarTable>(std::move(t));
+  } else {
+    JIGSAW_ASSIGN_OR_RETURN(ColumnarTable t,
+                            fn.GenerateColumnar(sample_id, seeds));
+    columnar = std::make_unique<const ColumnarTable>(std::move(t));
+    generated = true;
+  }
+  MutexLock lock(&mu_);
+  WorldEntry& entry = cache_[key];
+  if (!entry.columnar) {
+    if (generated && !entry.boxed) ++generations_;
+    entry.columnar = std::move(columnar);
+  }
+  return entry.columnar.get();
 }
 
 namespace {
 
 constexpr std::uint64_t kUsersTableSalt = 0x75736572732d7667ULL;  // users-vg
+constexpr std::uint64_t kItemsTableSalt = 0x6974656d732d7667ULL;  // items-vg
 
 class UsersVGTable final : public VGTableFunction {
  public:
@@ -54,32 +152,146 @@ class UsersVGTable final : public VGTableFunction {
     out.Reserve(static_cast<std::size_t>(num_users_));
     RandomStream rng = seeds.StreamFor(sample_id, kUsersTableSalt);
     for (int u = 0; u < num_users_; ++u) {
-      double signup = 0.0, base = 0.0;
-      // Same deterministic population as the UserSelection black box, so
-      // both engines of Figure 7 simulate the same scenario.
-      jigsaw::DeriveUserProfile(u, arrival_rate_, base_demand_, &signup,
-                                &base);
-      double peak = 0.0;
-      for (int d = 0; d < sim_depth_; ++d) {
-        peak = std::max(peak, rng.LogNormal(0.0, spread_));
-      }
-      const double requirement = base * peak;
+      double signup = 0.0, requirement = 0.0;
+      RealizeUser(u, &rng, &signup, &requirement);
       Row row;
       row.reserve(3);
       row.emplace_back(static_cast<std::int64_t>(u));
       row.emplace_back(signup);
       row.emplace_back(requirement);
-      out.AddRow(std::move(row));
+      JIGSAW_RETURN_IF_ERROR(out.AddRow(std::move(row)));
     }
     return out;
   }
 
+  Status GenerateColumnarInto(std::size_t sample_id, const SeedVector& seeds,
+                              ColumnarTable* out) const override {
+    // The hot path: draws land straight in the column buffers. Shares
+    // RealizeUser with Generate so both representations consume the
+    // stream identically and realize bit-identical values.
+    const std::size_t n = static_cast<std::size_t>(num_users_);
+    std::span<std::int64_t> user_ids = out->column(0).AppendIntSpan(n);
+    std::span<double> signups = out->column(1).AppendDoubleSpan(n);
+    std::span<double> requirements = out->column(2).AppendDoubleSpan(n);
+    RandomStream rng = seeds.StreamFor(sample_id, kUsersTableSalt);
+    for (int u = 0; u < num_users_; ++u) {
+      user_ids[u] = u;
+      RealizeUser(u, &rng, &signups[u], &requirements[u]);
+    }
+    return out->CommitAppendedRows();
+  }
+
  private:
+  void RealizeUser(int u, RandomStream* rng, double* signup,
+                   double* requirement) const {
+    double base = 0.0;
+    // Same deterministic population as the UserSelection black box, so
+    // both engines of Figure 7 simulate the same scenario.
+    jigsaw::DeriveUserProfile(u, arrival_rate_, base_demand_, signup, &base);
+    double peak = 0.0;
+    for (int d = 0; d < sim_depth_; ++d) {
+      peak = std::max(peak, rng->LogNormal(0.0, spread_));
+    }
+    *requirement = base * peak;
+  }
+
   int num_users_;
   double arrival_rate_;
   double base_demand_;
   double spread_;
   int sim_depth_;
+  std::string name_;
+  Schema schema_;
+};
+
+/// Deterministic (non-random) per-item attributes for the scaling table.
+/// Knuth-style multiplicative mixing keeps them varied without touching
+/// the random stream.
+bool ItemInStock(std::size_t i) {
+  return (i * 2654435761ULL) % 10 != 0;  // ~90% in stock
+}
+
+const char* ItemRegion(std::size_t i) {
+  static constexpr const char* kRegions[4] = {"north", "south", "east",
+                                              "west"};
+  return kRegions[i & 3];
+}
+
+class ScalingItemsVGTable final : public VGTableFunction {
+ public:
+  ScalingItemsVGTable(std::size_t num_rows, double demand_mu,
+                      double demand_sigma, double cost_base)
+      : num_rows_(num_rows),
+        demand_mu_(demand_mu),
+        demand_sigma_(demand_sigma),
+        cost_base_(cost_base),
+        name_("items"),
+        schema_(std::vector<Column>{{"item_id", ValueType::kInt},
+                                    {"demand", ValueType::kDouble},
+                                    {"cost", ValueType::kDouble},
+                                    {"in_stock", ValueType::kBool},
+                                    {"region", ValueType::kString}}) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<Table> Generate(std::size_t sample_id,
+                         const SeedVector& seeds) const override {
+    Table out(schema_);
+    out.Reserve(num_rows_);
+    RandomStream rng = seeds.StreamFor(sample_id, kItemsTableSalt);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      double demand = 0.0, cost = 0.0;
+      RealizeItem(&rng, &demand, &cost);
+      Row row;
+      row.reserve(5);
+      row.emplace_back(static_cast<std::int64_t>(i));
+      row.emplace_back(demand);
+      row.emplace_back(cost);
+      row.emplace_back(ItemInStock(i));
+      row.emplace_back(std::string(ItemRegion(i)));
+      JIGSAW_RETURN_IF_ERROR(out.AddRow(std::move(row)));
+    }
+    return out;
+  }
+
+  Status GenerateColumnarInto(std::size_t sample_id, const SeedVector& seeds,
+                              ColumnarTable* out) const override {
+    std::span<std::int64_t> item_ids = out->column(0).AppendIntSpan(num_rows_);
+    std::span<double> demands = out->column(1).AppendDoubleSpan(num_rows_);
+    std::span<double> costs = out->column(2).AppendDoubleSpan(num_rows_);
+    std::span<std::uint8_t> in_stock = out->column(3).AppendBoolSpan(num_rows_);
+    // The region domain is closed (4 names cycling by i&3): intern each
+    // name once, in the same first-appearance order the boxed rows
+    // produce, and bulk-fill codes — no per-row dictionary probe.
+    ColumnChunk& region = out->column(4);
+    std::uint32_t region_codes[4];
+    for (std::size_t r = 0; r < 4; ++r) {
+      region_codes[r] = region.InternString(ItemRegion(r));
+    }
+    std::span<std::uint32_t> regions = region.AppendCodeSpan(num_rows_);
+    RandomStream rng = seeds.StreamFor(sample_id, kItemsTableSalt);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      item_ids[i] = static_cast<std::int64_t>(i);
+      RealizeItem(&rng, &demands[i], &costs[i]);
+      in_stock[i] = ItemInStock(i) ? 1 : 0;
+      regions[i] = region_codes[i & 3];
+    }
+    return out->CommitAppendedRows();
+  }
+
+ private:
+  void RealizeItem(RandomStream* rng, double* demand, double* cost) const {
+    // Two draws per row: cheap enough that storage representation — not
+    // the generator — dominates the cost at millions of tuples.
+    *demand = rng->LogNormal(demand_mu_, demand_sigma_);
+    *cost = cost_base_ * rng->Uniform(0.8, 1.2);
+  }
+
+  std::size_t num_rows_;
+  double demand_mu_;
+  double demand_sigma_;
+  double cost_base_;
   std::string name_;
   Schema schema_;
 };
@@ -91,6 +303,14 @@ VGTableFunctionPtr MakeUsersVGTable(int num_users, double arrival_rate,
                                     int sim_depth) {
   return std::make_shared<UsersVGTable>(num_users, arrival_rate, base_demand,
                                         spread, sim_depth);
+}
+
+VGTableFunctionPtr MakeScalingItemsVGTable(std::size_t num_rows,
+                                           double demand_mu,
+                                           double demand_sigma,
+                                           double cost_base) {
+  return std::make_shared<ScalingItemsVGTable>(num_rows, demand_mu,
+                                               demand_sigma, cost_base);
 }
 
 }  // namespace jigsaw::pdb

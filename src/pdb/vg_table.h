@@ -10,13 +10,23 @@
 /// realizations per (table, sample) so that set-oriented engines touch the
 /// generator once per world — the data-management advantage the paper's
 /// SQL Server prototype shows on UserSelection (Figure 7).
+///
+/// Realizations come in two representations: the boxed `Table` (the
+/// layered / Volcano interop shape) and the contiguous `ColumnarTable`
+/// (the hot-loop shape — see columnar.h). Generators that override
+/// `GenerateColumnarInto` write model draws straight into column spans;
+/// the default adapter boxes through `Generate`. Both must realize
+/// bit-identical values from identical (seeds, sample_id): the columnar
+/// path is a storage change, never a draw-sequence change.
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <tuple>
+#include <vector>
 
+#include "pdb/columnar.h"
 #include "pdb/table.h"
 #include "random/seed_vector.h"
 #include "util/annotations.h"
@@ -36,9 +46,50 @@ class VGTableFunction {
   /// `sample_id`. Randomness must derive from (seeds, sample_id) only.
   virtual Result<Table> Generate(std::size_t sample_id,
                                  const SeedVector& seeds) const = 0;
+
+  /// Appends this table's realization in world `sample_id` to `*out`
+  /// (which must have this function's schema; existing rows are kept, so
+  /// a multi-world extent accumulates realizations back to back). The
+  /// default adapter calls `Generate` and boxes row by row; generators on
+  /// the hot path override it to bulk-fill column spans. Overrides MUST
+  /// consume the random stream exactly as `Generate` does.
+  virtual Status GenerateColumnarInto(std::size_t sample_id,
+                                      const SeedVector& seeds,
+                                      ColumnarTable* out) const;
+
+  /// Convenience: one realization as a fresh ColumnarTable.
+  Result<ColumnarTable> GenerateColumnar(std::size_t sample_id,
+                                         const SeedVector& seeds) const;
 };
 
 using VGTableFunctionPtr = std::shared_ptr<const VGTableFunction>;
+
+/// One pool task's disjoint shard of a multi-world columnar
+/// materialization. The shard-ownership rule: FoldVGColumns hands each
+/// pool task one WorldExtent covering a contiguous run of worlds; only
+/// that task appends to it, so parallel realization needs no
+/// synchronization and no cross-task writes. `world_ids` is the parallel
+/// world/sample-id column (U-relations keep the world annotation next to
+/// the data); `row_offsets[k]` is the first row of the k-th appended
+/// world, with `data.num_rows()` closing the last.
+struct WorldExtent {
+  std::size_t world_begin = 0;
+  ColumnarTable data;
+  ColumnChunk world_ids{ValueType::kInt};
+  std::vector<std::size_t> row_offsets;
+
+  /// Realizes world `sample_id` at the end of `data` (initializing the
+  /// schema from `fn` on first use) and stamps its world-id column.
+  Status AppendWorld(const VGTableFunction& fn, std::size_t sample_id,
+                     const SeedVector& seeds);
+
+  /// Row range [first, last) of the k-th appended world.
+  std::pair<std::size_t, std::size_t> WorldRows(std::size_t k) const {
+    const std::size_t last =
+        k + 1 < row_offsets.size() ? row_offsets[k + 1] : data.num_rows();
+    return {row_offsets[k], last};
+  }
+};
 
 /// Memoizes realizations per (table name, seed namespace, sample id).
 /// Safe to share across the pool tasks of a parallel possible-worlds run
@@ -50,15 +101,31 @@ using VGTableFunctionPtr = std::shared_ptr<const VGTableFunction>;
 /// seed AND its seed schema, so sessions running under different seed
 /// namespaces — or different draw derivations — realize disjoint entries
 /// instead of silently reading each other's draws, while same-namespace
-/// same-schema sessions share realizations. Returned pointers stay valid
-/// for the cache's lifetime (map nodes are stable).
+/// same-schema sessions share realizations.
+///
+/// Each entry holds up to two representations of the same realization —
+/// columnar chunks (the storage of record under the columnar gate) and a
+/// boxed view for the Volcano/interop consumers. Converting between the
+/// two never counts as a generation: generation_count only moves when a
+/// generator actually runs AND its output is the first representation
+/// installed for that key, so the count is one per distinct world
+/// regardless of which representation was asked for first or how racing
+/// tasks interleave. Returned pointers stay valid for the cache's
+/// lifetime (entries own their tables behind stable unique_ptrs).
 class WorldCache {
  public:
-  /// Returns the cached realization, generating it on first use.
+  /// Returns the cached boxed realization, generating (or un-boxing the
+  /// cached columnar realization) on first use.
   Result<const Table*> GetOrGenerate(const VGTableFunction& fn,
                                      std::size_t sample_id,
                                      const SeedVector& seeds)
       JIGSAW_EXCLUDES(mu_);
+
+  /// Returns the cached columnar realization, generating (or converting
+  /// the cached boxed realization) on first use.
+  Result<const ColumnarTable*> GetOrGenerateColumnar(
+      const VGTableFunction& fn, std::size_t sample_id,
+      const SeedVector& seeds) JIGSAW_EXCLUDES(mu_);
 
   std::size_t size() const JIGSAW_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
@@ -74,12 +141,22 @@ class WorldCache {
   }
 
  private:
+  struct WorldEntry {
+    std::unique_ptr<const Table> boxed;
+    std::unique_ptr<const ColumnarTable> columnar;
+  };
+  using Key =
+      std::tuple<std::string, std::uint64_t, std::uint8_t, std::size_t>;
+
+  static Key MakeKey(const VGTableFunction& fn, std::size_t sample_id,
+                     const SeedVector& seeds);
+
   mutable Mutex mu_;
-  /// Map nodes are stable, so Table pointers handed out under one lock
-  /// scope stay valid after it — only the map structure needs the guard.
-  std::map<std::tuple<std::string, std::uint64_t, std::uint8_t, std::size_t>,
-           Table>
-      cache_ JIGSAW_GUARDED_BY(mu_);
+  /// Map nodes are stable and each representation lives behind a
+  /// unique_ptr that is set once and never replaced, so pointers handed
+  /// out under one lock scope stay valid after it — only the map
+  /// structure and the null-ness of the slots need the guard.
+  std::map<Key, WorldEntry> cache_ JIGSAW_GUARDED_BY(mu_);
   std::uint64_t generations_ JIGSAW_GUARDED_BY(mu_) = 0;
 };
 
@@ -92,5 +169,17 @@ class WorldCache {
 VGTableFunctionPtr MakeUsersVGTable(int num_users, double arrival_rate,
                                     double base_demand, double spread,
                                     int sim_depth = 16);
+
+/// A row-count-scaling uncertain inventory table for the
+/// millions-of-tuples regime (Stochastic SketchRefine's target scale):
+///   (item_id INT, demand DOUBLE, cost DOUBLE, in_stock BOOL,
+///    region STRING)
+/// `demand` and `cost` are per-world draws (two draws per row, so storage
+/// cost — not the generator — dominates at scale); `item_id`, `in_stock`
+/// and the four-value `region` dictionary are deterministic attributes.
+VGTableFunctionPtr MakeScalingItemsVGTable(std::size_t num_rows,
+                                           double demand_mu = 1.0,
+                                           double demand_sigma = 0.5,
+                                           double cost_base = 10.0);
 
 }  // namespace jigsaw::pdb

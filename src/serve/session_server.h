@@ -85,7 +85,11 @@ struct ScriptSnapshot {
   std::shared_ptr<const sql::BoundScript> interpreted;
   /// Shared VG realizations, keyed by (table, seed namespace, world):
   /// same-namespace sessions amortize generation, private-namespace
-  /// sessions occupy disjoint keys.
+  /// sessions occupy disjoint keys. Entries are dual-representation —
+  /// typed column chunks (ColumnarTable) and/or boxed rows, whichever
+  /// the consumers' RunConfig::columnar_storage gates asked for first;
+  /// both views of a world are bit-identical, so mixed-gate sessions
+  /// sharing one cache still replay byte-identically.
   std::shared_ptr<pdb::WorldCache> world_cache;
   /// Frozen basis catalog warmed at publish time under the server
   /// namespace (null unless PublishOptions::warm_basis_store). Consulted

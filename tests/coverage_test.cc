@@ -157,8 +157,8 @@ TEST(LayeredEngineEdgeTest, MultiRowPlanRejected) {
       []() -> Result<pdb::PlanNodePtr> {
         pdb::Table t(pdb::Schema(
             std::vector<pdb::Column>{{"x", pdb::ValueType::kDouble}}));
-        t.AddRow({pdb::Value(1.0)});
-        t.AddRow({pdb::Value(2.0)});
+        JIGSAW_RETURN_IF_ERROR(t.AddRow({pdb::Value(1.0)}));
+        JIGSAW_RETURN_IF_ERROR(t.AddRow({pdb::Value(2.0)}));
         return pdb::MakeOwnedTableScan(std::move(t));
       },
       std::vector<double>{});

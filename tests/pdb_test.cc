@@ -104,14 +104,48 @@ TEST(ValueTest, ParseRoundTrip) {
 // Table / Schema / CSV interop
 // ---------------------------------------------------------------------------
 
+/// AddRow for rows a test knows to be schema-conformant.
+void MustAddRow(Table& t, Row row) {
+  const Status s = t.AddRow(std::move(row));
+  ASSERT_TRUE(s.ok()) << s.ToString();
+}
+
 Table MakeToyTable() {
   Schema schema(std::vector<Column>{{"id", ValueType::kInt},
                                     {"score", ValueType::kDouble}});
   Table t(schema);
   for (int i = 0; i < 5; ++i) {
-    t.AddRow({Value(std::int64_t{i}), Value(i * 1.5)});
+    MustAddRow(t, {Value(std::int64_t{i}), Value(i * 1.5)});
   }
   return t;
+}
+
+TEST(TableTest, AddRowValidatesArityAndTypes) {
+  Schema schema(std::vector<Column>{{"id", ValueType::kInt},
+                                    {"label", ValueType::kString}});
+  Table t(schema);
+
+  // Arity mismatch is rejected, not silently accepted.
+  Status arity = t.AddRow({Value(std::int64_t{1})});
+  EXPECT_EQ(arity.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(arity.message().find("arity"), std::string::npos);
+
+  // A numeric value cannot land in a string-declared column.
+  Status type = t.AddRow({Value(std::int64_t{1}), Value(2.5)});
+  EXPECT_EQ(type.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(type.message().find("label"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+
+  // The numeric family is interchangeable (Value::AsDouble coercion) and
+  // nulls always fit.
+  EXPECT_TRUE(t.AddRow({Value(1.0), Value(std::string("ok"))}).ok());
+  EXPECT_TRUE(t.AddRow({Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+
+  // A string cannot land in a numeric-declared column.
+  Schema num(std::vector<Column>{{"x", ValueType::kDouble}});
+  Table tn(num);
+  EXPECT_FALSE(tn.AddRow({Value(std::string("oops"))}).ok());
 }
 
 TEST(TableTest, SchemaLookupCaseInsensitive) {
@@ -661,8 +695,8 @@ Table MakeDeptTable() {
   Schema schema(std::vector<Column>{{"dept_id", ValueType::kInt},
                                     {"dept", ValueType::kString}});
   Table t(schema);
-  t.AddRow({Value(std::int64_t{0}), Value(std::string("eng"))});
-  t.AddRow({Value(std::int64_t{1}), Value(std::string("ops"))});
+  MustAddRow(t, {Value(std::int64_t{0}), Value(std::string("eng"))});
+  MustAddRow(t, {Value(std::int64_t{1}), Value(std::string("ops"))});
   return t;
 }
 
@@ -670,10 +704,11 @@ Table MakeEmpTable() {
   Schema schema(std::vector<Column>{{"name", ValueType::kString},
                                     {"dept_id", ValueType::kInt}});
   Table t(schema);
-  t.AddRow({Value(std::string("ada")), Value(std::int64_t{0})});
-  t.AddRow({Value(std::string("bob")), Value(std::int64_t{1})});
-  t.AddRow({Value(std::string("cyd")), Value(std::int64_t{0})});
-  t.AddRow({Value(std::string("dee")), Value(std::int64_t{9})});  // dangling
+  MustAddRow(t, {Value(std::string("ada")), Value(std::int64_t{0})});
+  MustAddRow(t, {Value(std::string("bob")), Value(std::int64_t{1})});
+  MustAddRow(t, {Value(std::string("cyd")), Value(std::int64_t{0})});
+  MustAddRow(t,
+             {Value(std::string("dee")), Value(std::int64_t{9})});  // dangling
   return t;
 }
 
@@ -1257,12 +1292,17 @@ TEST(MonteCarloSweepTest, TypeFlipErrorNamesPointAndWorld) {
   // loop reaches point 2 and reports its first flipped world.
   auto run_world = [](std::size_t point,
                       std::size_t world) -> Result<Table> {
-    Table t(Schema({{"x", ValueType::kDouble}}));
+    // The flipped worlds declare a string schema (AddRow validates
+    // declared types now); the fold's layout check keys on the *value's*
+    // numeric-ness, so the surfaced error is unchanged.
     if (point == 2 && world >= 5) {
-      t.AddRow({Value(std::string("oops"))});
-    } else {
-      t.AddRow({Value(static_cast<double>(point * 100 + world))});
+      Table t(Schema({{"x", ValueType::kString}}));
+      JIGSAW_RETURN_IF_ERROR(t.AddRow({Value(std::string("oops"))}));
+      return t;
     }
+    Table t(Schema({{"x", ValueType::kDouble}}));
+    JIGSAW_RETURN_IF_ERROR(
+        t.AddRow({Value(static_cast<double>(point * 100 + world))}));
     return t;
   };
 
@@ -1292,7 +1332,7 @@ TEST(MonteCarloSweepTest, TypeFlipErrorNamesPointAndWorld) {
       return Status::ExecutionError("world 0 exploded");
     }
     Table t(Schema({{"x", ValueType::kDouble}}));
-    t.AddRow({Value(1.0)});
+    JIGSAW_RETURN_IF_ERROR(t.AddRow({Value(1.0)}));
     return t;
   };
   RunConfig cfg;

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Per-module line-coverage gate for the Jigsaw source tree.
+
+Reads gcov's JSON intermediate output for every object built from src/,
+aggregates executed/executable line counts per module (the directory
+directly under src/), and fails if any module's line coverage falls below
+the floor recorded in tools/coverage_baseline.json. The baseline is the
+coverage the seeded test suite achieves; the gate makes "new code ships
+with tests" a machine property — untested additions dilute their module's
+percentage below the floor and break the job.
+
+Workflow (the coverage CI job, or locally):
+
+    cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DJIGSAW_COVERAGE=ON
+    cmake --build build-cov -j && (cd build-cov && ctest -j)
+    python3 tools/coverage_gate.py --build build-cov
+
+Maintaining the baseline:
+
+    python3 tools/coverage_gate.py --build build-cov --write-baseline
+
+Raise the floors when coverage genuinely improves; never lower them to
+make a failing PR pass — add tests instead. A small slack (default 0.25
+points) absorbs compiler-version jitter in executable-line accounting.
+
+Only gcc/gcov is supported (clang writes a different profile format);
+gcov ships with gcc, so the gate needs no extra packages. gcovr, when
+installed, renders a nicer human report — see the CI job — but the gate
+itself parses `gcov --json-format --stdout` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+SLACK_POINTS = 0.25
+
+
+def find_gcda(build_dir: Path) -> list[Path]:
+    """Coverage data for objects compiled from src/ (tests/bench/fuzz
+    binaries instrument too, but the gate measures the shipped tree)."""
+    out = []
+    for gcda in build_dir.rglob("*.gcda"):
+        rel = gcda.relative_to(build_dir).as_posix()
+        if rel.startswith("src/"):
+            out.append(gcda)
+    return sorted(out)
+
+
+def gcov_json(gcda: Path, build_dir: Path) -> dict:
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", str(gcda)],
+        cwd=build_dir,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"gcov failed on {gcda}: {proc.stderr.strip()[:200]}")
+    # --stdout emits one JSON document per input file; we pass exactly one.
+    return json.loads(proc.stdout)
+
+
+def module_of(source: str, repo: Path) -> str | None:
+    """src/pdb/table.cc -> 'pdb'; files outside src/ (system headers,
+    gtest) don't count against any module."""
+    path = Path(source)
+    if not path.is_absolute():
+        path = (repo / source).resolve()
+    try:
+        rel = path.resolve().relative_to((repo / "src").resolve())
+    except ValueError:
+        return None
+    parts = rel.parts
+    return parts[0] if len(parts) > 1 else "(top)"
+
+
+def collect(build_dir: Path, repo: Path) -> dict[str, tuple[int, int]]:
+    """module -> (covered_lines, executable_lines), deduplicated by
+    (source, line): a header inlined into many objects counts once, as
+    covered if any inclusion executed it."""
+    line_hits: dict[tuple[str, int], int] = defaultdict(int)
+    modules: dict[str, set[tuple[str, int]]] = defaultdict(set)
+    for gcda in find_gcda(build_dir):
+        doc = gcov_json(gcda, build_dir)
+        for f in doc.get("files", []):
+            mod = module_of(f["file"], repo)
+            if mod is None:
+                continue
+            for line in f.get("lines", []):
+                key = (f["file"], line["line_number"])
+                modules[mod].add(key)
+                line_hits[key] += line["count"]
+    out = {}
+    for mod, keys in modules.items():
+        covered = sum(1 for k in keys if line_hits[k] > 0)
+        out[mod] = (covered, len(keys))
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", default="build-cov",
+                    help="coverage build directory (JIGSAW_COVERAGE=ON)")
+    ap.add_argument("--baseline",
+                    default=str(Path(__file__).with_name(
+                        "coverage_baseline.json")))
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="record current coverage as the new floor")
+    ap.add_argument("--slack", type=float, default=SLACK_POINTS,
+                    help="allowed drop below baseline, in points")
+    args = ap.parse_args()
+
+    repo = Path(__file__).resolve().parent.parent
+    build_dir = Path(args.build)
+    if not build_dir.is_absolute():
+        build_dir = repo / build_dir
+    if not build_dir.is_dir():
+        print(f"error: build dir {build_dir} not found", file=sys.stderr)
+        return 2
+    stats = collect(build_dir, repo)
+    if not stats:
+        print("error: no .gcda files under src/ — build with "
+              "-DJIGSAW_COVERAGE=ON and run ctest first", file=sys.stderr)
+        return 2
+
+    percents = {m: 100.0 * c / t for m, (c, t) in stats.items() if t}
+    width = max(len(m) for m in percents)
+    for mod in sorted(percents):
+        covered, total = stats[mod]
+        print(f"{mod:<{width}}  {percents[mod]:6.2f}%  "
+              f"({covered}/{total} lines)")
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        recorded = {m: round(p, 2) for m, p in sorted(percents.items())}
+        baseline_path.write_text(json.dumps(recorded, indent=2) + "\n")
+        print(f"baseline written: {baseline_path}")
+        return 0
+
+    if not baseline_path.is_file():
+        print(f"error: baseline {baseline_path} missing — run with "
+              "--write-baseline once", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for mod, floor in sorted(baseline.items()):
+        got = percents.get(mod)
+        if got is None:
+            failures.append(f"{mod}: no coverage data (baseline {floor}%)")
+        elif got + args.slack < floor:
+            failures.append(
+                f"{mod}: {got:.2f}% < baseline {floor}% (slack "
+                f"{args.slack})")
+    if failures:
+        print("\nCOVERAGE GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\ncoverage gate passed "
+          f"({len(baseline)} module floors held)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
