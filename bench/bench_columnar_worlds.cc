@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "pdb/join.h"
 #include "pdb/monte_carlo.h"
 #include "pdb/vg_table.h"
 #include "util/thread_pool.h"
@@ -130,6 +131,53 @@ RunResult DriveFold(const pdb::VGTableFunction& fn, std::size_t rows,
   return r;
 }
 
+/// Join phase: a fixed 256-user population equi-joined against the
+/// scaling items table on user_id = item_id, per world. The boxed
+/// nested-loop oracle probes rows x 256 pairs per world — the quadratic
+/// baseline the span kernels must beat while staying bit-identical.
+RunResult DriveJoin(const pdb::VGTableFunctionPtr& users,
+                    const pdb::VGTableFunctionPtr& items, std::size_t rows,
+                    const BenchFlags& flags, bool columnar,
+                    JoinAlgorithm algorithm, std::size_t threads) {
+  RunConfig cfg;
+  cfg.num_samples = flags.num_samples;
+  cfg.batch_size =
+      threads > 1
+          ? std::min(flags.batch_size,
+                     std::max<std::size_t>(1, flags.num_samples / threads))
+          : flags.batch_size;
+  cfg.num_threads = threads;
+  cfg.seed_schema = bench::SchemaFromFlags(flags);
+  cfg.columnar_storage = columnar;
+  cfg.join_algorithm = algorithm;
+  const SeedVector seeds(cfg.master_seed, flags.num_samples,
+                         cfg.seed_schema);
+  const std::vector<std::string> columns = {"requirement", "demand", "cost"};
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  RunResult r;
+  WallTimer timer;
+  auto metrics =
+      pdb::FoldJoinedVGColumns(users, items, {"user_id", "item_id"}, columns,
+                               flags.num_samples, seeds, cfg, pool.get());
+  r.elapsed_s = timer.ElapsedSeconds();
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "join fold failed: %s\n",
+                 metrics.status().ToString().c_str());
+    r.ok = false;
+    return r;
+  }
+  Checksum sum;
+  sum.FoldColumns(metrics.value());
+  r.checksum = sum.value();
+  // Throughput counts right-side tuples scanned per world (the scaling
+  // axis), not the 256-row joined output.
+  r.tuples = static_cast<std::uint64_t>(rows) * flags.num_samples;
+  return r;
+}
+
 void EmitRow(const std::string& mode, std::size_t rows, std::size_t threads,
              const BenchFlags& flags, const RunResult& r) {
   JsonLineBuilder row;
@@ -188,6 +236,51 @@ int main(int argc, char** argv) {
                  "parallel(%zu) %5.2fx  rss %.0f MiB  checksums %s\n",
                  rows, flags.num_samples, speedup, flags.num_threads,
                  scaling, PeakRssBytes() / (1024.0 * 1024.0),
+                 same ? "match" : "MISMATCH");
+    checksums_ok = checksums_ok && same;
+  }
+
+  // Join phase: sort-merge vs hash vs the boxed nested-loop oracle,
+  // serial and threaded, on a fixed 256-user left side so the oracle's
+  // quadratic probe stays feasible while the right side scales.
+  const auto users = pdb::MakeUsersVGTable(256, 0.8, 5.0, 2.0);
+  const std::vector<std::size_t> join_rows =
+      bench::FullScale()
+          ? std::vector<std::size_t>{10'000, 100'000, 1'000'000}
+          : std::vector<std::size_t>{10'000, 100'000};
+  for (std::size_t rows : join_rows) {
+    const auto items = pdb::MakeScalingItemsVGTable(rows);
+    const RunResult oracle = DriveJoin(users, items, rows, flags, false,
+                                       JoinAlgorithm::kSortMerge, 1);
+    EmitRow("join_oracle", rows, 1, flags, oracle);
+    const RunResult sort = DriveJoin(users, items, rows, flags, true,
+                                     JoinAlgorithm::kSortMerge, 1);
+    EmitRow("join_sort", rows, 1, flags, sort);
+    const RunResult hash =
+        DriveJoin(users, items, rows, flags, true, JoinAlgorithm::kHash, 1);
+    EmitRow("join_hash", rows, 1, flags, hash);
+    const RunResult sort_par =
+        DriveJoin(users, items, rows, flags, true, JoinAlgorithm::kSortMerge,
+                  flags.num_threads);
+    EmitRow("join_sort_par", rows, flags.num_threads, flags, sort_par);
+    const RunResult hash_par = DriveJoin(users, items, rows, flags, true,
+                                         JoinAlgorithm::kHash,
+                                         flags.num_threads);
+    EmitRow("join_hash_par", rows, flags.num_threads, flags, hash_par);
+
+    const bool same = oracle.ok && sort.ok && hash.ok && sort_par.ok &&
+                      hash_par.ok && oracle.checksum == sort.checksum &&
+                      sort.checksum == hash.checksum &&
+                      hash.checksum == sort_par.checksum &&
+                      sort_par.checksum == hash_par.checksum;
+    const double sort_speedup =
+        sort.elapsed_s > 0.0 ? oracle.elapsed_s / sort.elapsed_s : 0.0;
+    const double hash_speedup =
+        hash.elapsed_s > 0.0 ? oracle.elapsed_s / hash.elapsed_s : 0.0;
+    std::fprintf(stderr,
+                 "join rows=%-8zu worlds=%zu  sort/oracle %6.2fx  "
+                 "hash/oracle %6.2fx  checksums %s\n",
+                 rows, flags.num_samples, sort_speedup, hash_speedup,
                  same ? "match" : "MISMATCH");
     checksums_ok = checksums_ok && same;
   }

@@ -1,0 +1,1 @@
+MONTECARLO FROM users(8) JOIN items(8) ON u.user_id =;

@@ -1,0 +1,3 @@
+SELECT 1 AS one INTO r;
+MONTECARLO FROM users(8, 0.8, 5.0, 2.0) AS u JOIN items(8) AS i
+           ON ghost.user_id = i.item_id;

@@ -1,0 +1,3 @@
+SELECT 1 AS one INTO r;
+MONTECARLO FROM users(20, 0.8, 5.0, 2.0) AS u JOIN items(30) AS i
+           ON u.user_id = i.item_id;

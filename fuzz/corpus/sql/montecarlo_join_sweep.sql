@@ -1,0 +1,4 @@
+DECLARE PARAMETER @w AS RANGE 0 TO 7 STEP BY 1;
+SELECT 1 AS one INTO r;
+MONTECARLO FROM users(16, 0.8, 5.0, 2.0) JOIN items(24)
+           ON users.user_id = items.item_id OVER @w IN (1, 3, 5) USING LAYERED;

@@ -16,6 +16,16 @@ namespace jigsaw {
 
 class ThreadPool;
 
+/// Physical algorithm for the world-partitioned columnar equi-join
+/// (pdb/join.h). Both are bit-identical — values, output row order,
+/// errors — to the serial boxed nested-loop oracle, so the knob only
+/// trades sort locality against hash build cost; it can never change a
+/// result.
+enum class JoinAlgorithm : std::uint8_t {
+  kSortMerge,  ///< per-world stable sort of row indices by key
+  kHash,       ///< per-world insertion-ordered hash build of the right side
+};
+
 struct RunConfig {
   /// n: Monte Carlo sample instances per parameter point.
   std::size_t num_samples = 1000;
@@ -81,6 +91,11 @@ struct RunConfig {
   /// the bit-identity reference twin (same draws, same metrics, same
   /// errors in the same order); false forces it everywhere.
   bool columnar_storage = true;
+
+  /// Algorithm for the columnar world-partitioned equi-join. Interchangeable
+  /// by contract: every algorithm (and the boxed oracle behind
+  /// columnar_storage=false) produces bit-identical joined relations.
+  JoinAlgorithm join_algorithm = JoinAlgorithm::kSortMerge;
 
   /// Run SQL-bound expressions through the compiled BatchProgram path
   /// when the binder produced one. The compiled path is bit-identical to

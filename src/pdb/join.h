@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file join.h
+/// World-partitioned equi-join over columnar possible-worlds storage —
+/// the first relational operator above scan-project-fold on the
+/// ColumnChunk representation. "Joining relations under discrete
+/// uncertainty" compares sort- and index-based join algorithms; both map
+/// directly onto our chunks, and both are offered here behind
+/// RunConfig::join_algorithm:
+///
+///   kSortMerge — per world, stable-sort the row indices of each side by
+///                key (ties broken by row index, which stable sort
+///                preserves for free), merge equal-key groups, then
+///                restore the canonical (left row, right row) order;
+///   kHash      — per world, build an insertion-ordered hash index over
+///                the right side and probe left rows in order, which
+///                yields the canonical order directly.
+///
+/// The canonical output order is the serial boxed nested-loop order:
+/// for each left row ascending, its matches with right rows ascending.
+/// That nested-loop join is shipped here too (NestedLoopJoinOracle, and
+/// as the MakeJoinedVGScan Volcano leaf) as the reference oracle: every
+/// algorithm x storage x threads x batch combination must be
+/// bit-identical to it — values, output row order, error text and error
+/// ordering. NULL join keys never match anything (not even another
+/// NULL), matching SQL semantics; NaN double keys likewise never match.
+///
+/// Worlds never mix: the join runs within each world partition of a
+/// WorldExtent, so a W-world join is W independent per-world joins — the
+/// U-relations view of world membership as a condition column that both
+/// sides must agree on ("Fast and Simple Relational Processing of
+/// Uncertain Data"). FoldJoinedVGColumns fans world-chunk cells out on
+/// the shared ThreadPool under the same shard-ownership rule as
+/// FoldVGColumns, and folds joined numeric kDouble columns into
+/// Estimator::AddSpan zero-copy.
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/run_config.h"
+#include "pdb/columnar.h"
+#include "pdb/operators.h"
+#include "pdb/table.h"
+#include "pdb/vg_table.h"
+#include "random/seed_vector.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace jigsaw::pdb {
+
+/// Equi-join key specification: one key column per side, by name
+/// (resolved case-insensitively, like every schema lookup).
+struct JoinSpec {
+  std::string left_key;
+  std::string right_key;
+};
+
+/// A JoinSpec resolved against both input schemas: key slots, the common
+/// key type, and the concatenated output schema. Resolution happens once
+/// up front, so a bad key name, a key type mismatch or a duplicate
+/// output column fails before any world is realized — with the same
+/// error text and ordering on every execution path.
+struct ResolvedJoin {
+  std::size_t left_slot = 0;
+  std::size_t right_slot = 0;
+  ValueType key_type = ValueType::kDouble;
+  Schema output;  ///< left columns then right columns
+};
+
+/// Resolves `spec` against the two input schemas. Errors, in resolution
+/// order: unknown left key, unknown right key ("no column named 'x'"),
+/// mismatched key types, duplicate output column name.
+Result<ResolvedJoin> ResolveJoin(const Schema& left, const Schema& right,
+                                 const JoinSpec& spec);
+
+/// The serial boxed nested-loop reference join — the oracle every span
+/// kernel is differenced against. For each left row in order, emits its
+/// concatenation with each matching right row in order. NULL keys never
+/// match.
+Result<Table> NestedLoopJoinOracle(const Table& left, const Table& right,
+                                   const ResolvedJoin& join);
+
+/// Span-kernel join of one world partition: joins rows [left_first,
+/// left_last) of `left` with rows [right_first, right_last) of `right`,
+/// appending the concatenated matches to `*out` (which must have schema
+/// `join.output`) in canonical nested-loop order. Both algorithms are
+/// bit-identical to NestedLoopJoinOracle over the same partition.
+Status JoinPartition(const ColumnarTable& left, std::size_t left_first,
+                     std::size_t left_last, const ColumnarTable& right,
+                     std::size_t right_first, std::size_t right_last,
+                     const ResolvedJoin& join, JoinAlgorithm algorithm,
+                     ColumnarTable* out);
+
+/// World-partitioned join of two realized multi-world extents: world k
+/// of `left` joins world k of `right` (both extents must cover the same
+/// contiguous world range), appending each world's joined partition to
+/// `*out` and stamping its world-id column — the joined relation keeps
+/// the U-relations world annotation next to the data, so it can feed
+/// further world-partitioned operators. `out->data` is initialized to
+/// `join.output` on first use.
+Status JoinWorlds(const WorldExtent& left, const WorldExtent& right,
+                  const ResolvedJoin& join, JoinAlgorithm algorithm,
+                  WorldExtent* out);
+
+/// Volcano leaf over the joined relation of world `ctx.sample_id`: both
+/// sides are realized boxed (through `cache` when non-null) and joined
+/// by the serial nested-loop oracle, rows streaming out in canonical
+/// order. This is the plan node the SQL binder lowers MONTECARLO
+/// FROM ... JOIN into, and the boxed reference twin FoldJoinedVGColumns
+/// runs under columnar_storage=false.
+PlanNodePtr MakeJoinedVGScan(VGTableFunctionPtr left,
+                             VGTableFunctionPtr right, ResolvedJoin join,
+                             WorldCache* cache = nullptr);
+
+/// Tuple-level possible-worlds join + fold, mirroring FoldVGColumns:
+/// realizes both tables in every world of [0, num_worlds), joins each
+/// world's partitions, and folds each requested numeric column of the
+/// joined relation — every joined tuple of every world, concatenated in
+/// (world, row) order — into an OutputMetrics summary.
+///
+/// Under config.columnar_storage each batch_size world chunk is one pool
+/// task (the shard-ownership rule): the task realizes both sides into
+/// its own WorldExtents (interleaving left/right per world, so
+/// generator errors surface in the serial order), joins them with
+/// config.join_algorithm, and the merge reads joined kDouble chunks
+/// zero-copy through Estimator::AddSpan in world order. With the gate
+/// off, the boxed twin executes the MakeJoinedVGScan nested-loop oracle
+/// per world and extracts columns through the copying
+/// Table::NumericColumn — same draws, bit-identical metrics, identical
+/// error text and ordering. With a non-null `cache`, realizations go
+/// through the WorldCache in whichever representation the gate selects.
+Result<std::map<std::string, OutputMetrics>> FoldJoinedVGColumns(
+    const VGTableFunctionPtr& left, const VGTableFunctionPtr& right,
+    const JoinSpec& spec, std::span<const std::string> column_names,
+    std::size_t num_worlds, const SeedVector& seeds, const RunConfig& config,
+    ThreadPool* pool, WorldCache* cache = nullptr);
+
+}  // namespace jigsaw::pdb

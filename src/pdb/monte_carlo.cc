@@ -10,6 +10,45 @@ namespace jigsaw::pdb {
 
 namespace internal {
 std::size_t g_fold_staged_budget_override = 0;
+
+Status FoldChunkColumn(const ColumnChunk& col, std::size_t first,
+                       std::size_t last, const std::string& name,
+                       Estimator* est) {
+  if (col.null_count() != 0) {
+    for (std::size_t r = first; r < last; ++r) {
+      if (col.IsNull(r)) {
+        return Status::ExecutionError("column '" + name + "' is not numeric");
+      }
+    }
+  }
+  switch (col.type()) {
+    case ValueType::kDouble:
+      est->AddSpan(col.Doubles().subspan(first, last - first));
+      return Status::OK();
+    case ValueType::kInt: {
+      std::vector<double> widened;
+      widened.reserve(last - first);
+      for (std::size_t r = first; r < last; ++r) {
+        widened.push_back(static_cast<double>(col.Ints()[r]));
+      }
+      est->AddSpan(widened);
+      return Status::OK();
+    }
+    case ValueType::kBool: {
+      std::vector<double> widened;
+      widened.reserve(last - first);
+      for (std::size_t r = first; r < last; ++r) {
+        widened.push_back(col.Bools()[r] != 0 ? 1.0 : 0.0);
+      }
+      est->AddSpan(widened);
+      return Status::OK();
+    }
+    case ValueType::kString:
+    case ValueType::kNull:
+      return Status::ExecutionError("column '" + name + "' is not numeric");
+  }
+  return Status::OK();
+}
 }  // namespace internal
 
 namespace {
@@ -379,47 +418,12 @@ Result<std::map<std::string, OutputMetrics>> FoldVGColumns(
   std::vector<Estimator> estimators(
       slots.size(), Estimator(config.keep_samples, config.histogram_bins));
 
-  // Folds rows [first, last) of one realized chunk column into slot s.
-  // kDouble with no nulls is the zero-copy fast path; int/bool widen
-  // through a copy; a null anywhere is non-numeric, as in the boxed walk.
+  // The shared tuple-level fold kernel (internal::FoldChunkColumn), bound
+  // to this fold's estimator slots.
   auto fold_column = [&](const ColumnChunk& col, std::size_t first,
                          std::size_t last, std::size_t s,
                          const std::string& name) -> Status {
-    if (col.null_count() != 0) {
-      for (std::size_t r = first; r < last; ++r) {
-        if (col.IsNull(r)) {
-          return Status::ExecutionError("column '" + name +
-                                        "' is not numeric");
-        }
-      }
-    }
-    switch (col.type()) {
-      case ValueType::kDouble:
-        estimators[s].AddSpan(col.Doubles().subspan(first, last - first));
-        return Status::OK();
-      case ValueType::kInt: {
-        std::vector<double> widened;
-        widened.reserve(last - first);
-        for (std::size_t r = first; r < last; ++r) {
-          widened.push_back(static_cast<double>(col.Ints()[r]));
-        }
-        estimators[s].AddSpan(widened);
-        return Status::OK();
-      }
-      case ValueType::kBool: {
-        std::vector<double> widened;
-        widened.reserve(last - first);
-        for (std::size_t r = first; r < last; ++r) {
-          widened.push_back(col.Bools()[r] != 0 ? 1.0 : 0.0);
-        }
-        estimators[s].AddSpan(widened);
-        return Status::OK();
-      }
-      case ValueType::kString:
-      case ValueType::kNull:
-        return Status::ExecutionError("column '" + name + "' is not numeric");
-    }
-    return Status::OK();
+    return internal::FoldChunkColumn(col, first, last, name, &estimators[s]);
   };
 
   if (config.columnar_storage) {

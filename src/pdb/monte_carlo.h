@@ -148,6 +148,16 @@ Result<std::map<std::string, OutputMetrics>> FoldVGColumns(
     ThreadPool* pool, WorldCache* cache = nullptr);
 
 namespace internal {
+/// Folds rows [first, last) of one realized chunk column into *est —
+/// the tuple-level fold kernel shared by FoldVGColumns and the join fold
+/// (pdb/join.h), so both report byte-identical "column 'X' is not
+/// numeric" errors. kDouble with no nulls is the zero-copy AddSpan fast
+/// path; int/bool widen through a copy; a null anywhere is non-numeric,
+/// as in the boxed Table::NumericColumn walk.
+Status FoldChunkColumn(const ColumnChunk& col, std::size_t first,
+                       std::size_t last, const std::string& name,
+                       Estimator* est);
+
 /// Test hook: when nonzero, overrides the staged-doubles budget that
 /// bounds how many sweep points the chunk-grid fold keeps in flight,
 /// forcing multi-window execution at unit-test sizes. Not synchronized —

@@ -14,7 +14,8 @@
 ///     GROUP BY p, ...
 ///     FOR MAX @p1, MIN @p2;                                 -- Figure 1
 ///   GRAPH OVER @p EXPECT col WITH style..., ...;            -- Section 2.2
-///   MONTECARLO [OVER @p [IN (v1, v2, ...) | IN lo TO hi [STEP BY s]]]
+///   MONTECARLO [FROM t1(args) [AS a] JOIN t2(args) [AS b] ON a.c = b.c]
+///              [OVER @p [IN (v1, v2, ...) | IN lo TO hi [STEP BY s]]]
 ///              [USING DIRECT | LAYERED];                    -- Section 2.1
 
 #include <memory>
@@ -140,7 +141,29 @@ struct MonteCarloSweepAst {
   std::optional<RangeSpecAst> range;  ///< IN lo TO hi [STEP BY s]
 };
 
-/// MONTECARLO [OVER @p [IN ...]] [USING DIRECT | LAYERED]: evaluates the
+/// One side of a MONTECARLO FROM ... JOIN clause: a VG (uncertain) table
+/// from the catalog, its numeric constructor arguments, and the alias ON
+/// columns reference it by (defaults to the table name).
+struct MonteCarloTableAst {
+  std::string table;
+  std::vector<double> args;
+  std::string alias;  ///< "" -> table name
+};
+
+/// FROM t1(...) AS a JOIN t2(...) AS b ON a.col = b.col: world-
+/// partitioned equi-join of two uncertain relations. Each ON side is a
+/// qualified alias.column reference, kept verbatim for the binder.
+struct MonteCarloJoinAst {
+  MonteCarloTableAst left;
+  MonteCarloTableAst right;
+  std::string on_left_alias;
+  std::string on_left_column;
+  std::string on_right_alias;
+  std::string on_right_column;
+};
+
+/// MONTECARLO [FROM t1(...) [AS a] JOIN t2(...) [AS b] ON a.c1 = b.c2]
+///            [OVER @p [IN ...]] [USING DIRECT | LAYERED]: evaluates the
 /// scenario SELECT through the possible-worlds executor and reports full
 /// per-column distribution summaries (Section 2.1's sampled databases,
 /// as opposed to the fingerprint-reusing sweep). With an OVER clause the
@@ -150,6 +173,7 @@ struct MonteCarloSweepAst {
 /// staying bit-identical to one standalone MONTECARLO per point.
 struct MonteCarloStmt {
   bool layered = false;  ///< USING LAYERED routes through LayeredEngine
+  std::optional<MonteCarloJoinAst> join;  ///< FROM ... JOIN ... ON ...
   std::optional<MonteCarloSweepAst> over;
 };
 

@@ -50,6 +50,86 @@ Result<SweepAgg> SweepAggFromText(const std::string& agg) {
   return Status::BindError("unknown sweep aggregate '" + agg + "'");
 }
 
+/// VG-table catalog for MONTECARLO FROM ... JOIN: table name (case-
+/// insensitive) -> generator factory over positional numeric literal
+/// arguments. The catalog is the bind-time boundary between SQL names
+/// and pdb VG table functions; an unknown name or a bad arity is a
+/// BindError before any world is realized.
+Result<pdb::VGTableFunctionPtr> MakeCatalogVGTable(
+    const std::string& name, const std::vector<double>& args) {
+  if (EqualsIgnoreCase(name, "users")) {
+    if (args.size() < 4 || args.size() > 5) {
+      return Status::BindError(
+          "VG table 'users' takes (num_users, arrival_rate, base_demand, "
+          "spread[, sim_depth])");
+    }
+    if (args[0] < 1.0) {
+      return Status::BindError("VG table 'users' needs num_users >= 1");
+    }
+    return pdb::MakeUsersVGTable(
+        static_cast<int>(args[0]), args[1], args[2], args[3],
+        args.size() == 5 ? static_cast<int>(args[4]) : 16);
+  }
+  if (EqualsIgnoreCase(name, "items")) {
+    if (args.empty() || args.size() > 4) {
+      return Status::BindError(
+          "VG table 'items' takes (num_rows[, demand_mu, demand_sigma, "
+          "cost_base])");
+    }
+    if (args[0] < 1.0) {
+      return Status::BindError("VG table 'items' needs num_rows >= 1");
+    }
+    return pdb::MakeScalingItemsVGTable(
+        static_cast<std::size_t>(args[0]),
+        args.size() > 1 ? args[1] : 1.0, args.size() > 2 ? args[2] : 0.5,
+        args.size() > 3 ? args[3] : 10.0);
+  }
+  return Status::BindError("unknown VG table '" + name + "'");
+}
+
+/// Binds a FROM ... JOIN ... ON clause: instantiates both catalog
+/// tables, maps the ON sides onto them by alias (either order), and
+/// resolves the equi-join against their schemas. Resolver failures
+/// (unknown column, mismatched key types, duplicate output names) keep
+/// the pdb resolver's text, surfaced at bind time as BindError.
+Result<MonteCarloJoinSpec> BindMonteCarloJoin(const MonteCarloJoinAst& j) {
+  MonteCarloJoinSpec join;
+  JIGSAW_ASSIGN_OR_RETURN(join.left,
+                          MakeCatalogVGTable(j.left.table, j.left.args));
+  JIGSAW_ASSIGN_OR_RETURN(join.right,
+                          MakeCatalogVGTable(j.right.table, j.right.args));
+  if (EqualsIgnoreCase(j.left.alias, j.right.alias)) {
+    return Status::BindError("JOIN sides share the alias '" + j.left.alias +
+                             "'");
+  }
+  auto side_of = [&](const std::string& alias) -> Result<bool> {
+    if (EqualsIgnoreCase(alias, j.left.alias)) return true;
+    if (EqualsIgnoreCase(alias, j.right.alias)) return false;
+    return Status::BindError("ON references unknown alias '" + alias + "'");
+  };
+  JIGSAW_ASSIGN_OR_RETURN(bool lhs_is_left, side_of(j.on_left_alias));
+  JIGSAW_ASSIGN_OR_RETURN(bool rhs_is_left, side_of(j.on_right_alias));
+  if (lhs_is_left == rhs_is_left) {
+    return Status::BindError("ON must relate the two joined tables ('" +
+                             j.on_left_alias + "' and '" + j.on_right_alias +
+                             "' name the same side)");
+  }
+  join.keys.left_key = lhs_is_left ? j.on_left_column : j.on_right_column;
+  join.keys.right_key = lhs_is_left ? j.on_right_column : j.on_left_column;
+  auto resolved =
+      pdb::ResolveJoin(join.left->schema(), join.right->schema(), join.keys);
+  if (!resolved.ok()) {
+    return Status::BindError(resolved.status().message());
+  }
+  join.resolved = std::move(resolved).value();
+  join.description = StrFormat(
+      "%s AS %s JOIN %s AS %s ON %s.%s = %s.%s", j.left.table.c_str(),
+      j.left.alias.c_str(), j.right.table.c_str(), j.right.alias.c_str(),
+      j.left.alias.c_str(), join.keys.left_key.c_str(),
+      j.right.alias.c_str(), join.keys.right_key.c_str());
+  return join;
+}
+
 Result<CmpOp> CmpFromText(const std::string& cmp) {
   if (cmp == "<") return CmpOp::kLt;
   if (cmp == "<=") return CmpOp::kLe;
@@ -590,6 +670,10 @@ Result<BoundScript> Binder::Bind(const Script& script) {
     }
     MonteCarloSpec spec;
     spec.layered = stmt.montecarlo->layered;
+    if (stmt.montecarlo->join) {
+      JIGSAW_ASSIGN_OR_RETURN(spec.join,
+                              BindMonteCarloJoin(*stmt.montecarlo->join));
+    }
     if (stmt.montecarlo->over) {
       const MonteCarloSweepAst& over = *stmt.montecarlo->over;
       MonteCarloSweepSpec sweep;

@@ -18,6 +18,8 @@
 #include "models/black_box.h"
 #include "pdb/batch_program.h"
 #include "pdb/expr.h"
+#include "pdb/join.h"
+#include "pdb/vg_table.h"
 #include "sql/ast.h"
 #include "util/status.h"
 
@@ -98,12 +100,29 @@ struct MonteCarloSweepSpec {
   std::vector<double> points;
 };
 
+/// Bound FROM ... JOIN clause of a MONTECARLO statement: both VG tables
+/// instantiated from the catalog, the key columns, and the join resolved
+/// against their schemas (key slots, common key type, concatenated
+/// output schema). Every name/type/duplicate error surfaced at bind time
+/// with the pdb resolver's text, so execution never re-diagnoses.
+struct MonteCarloJoinSpec {
+  pdb::VGTableFunctionPtr left;
+  pdb::VGTableFunctionPtr right;
+  pdb::JoinSpec keys;
+  pdb::ResolvedJoin resolved;
+  std::string description;  ///< "users AS u JOIN items AS i ON u.a = i.b"
+};
+
 /// MONTECARLO statement: run the scenario's row program through the
 /// possible-worlds executor — the direct MonteCarloExecutor or (USING
 /// LAYERED) the layered prototype engine — at a single valuation, or
-/// with `over` at every point of the swept parameter.
+/// with `over` at every point of the swept parameter. With `join`, the
+/// statement instead folds the world-partitioned equi-join of two
+/// uncertain relations (pdb::FoldJoinedVGColumns) — every joined tuple
+/// of every sampled world — and the row program is not consulted.
 struct MonteCarloSpec {
   bool layered = false;
+  std::optional<MonteCarloJoinSpec> join;
   std::optional<MonteCarloSweepSpec> over;
 };
 

@@ -133,7 +133,9 @@ Result<std::vector<Token>> Lex(const std::string& text) {
       out.push_back(std::move(tok));
       continue;
     }
-    static const std::string kSingles = "()+-*/<>=,;:";
+    // '.' here is the qualified-name separator (alias.column in JOIN ON
+    // clauses); a '.' starting a numeric literal was consumed above.
+    static const std::string kSingles = "()+-*/<>=,;:.";
     if (kSingles.find(c) != std::string::npos) {
       tok.kind = TokenKind::kSymbol;
       tok.text = std::string(1, c);

@@ -367,9 +367,53 @@ class Parser {
     return graph;
   }
 
+  /// table(arg, ...) [AS alias] — one side of a FROM ... JOIN clause.
+  Result<MonteCarloTableAst> ParseMonteCarloTable() {
+    MonteCarloTableAst t;
+    JIGSAW_ASSIGN_OR_RETURN(t.table, ExpectIdent("VG table name"));
+    JIGSAW_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (!AcceptSymbol(")")) {
+      do {
+        JIGSAW_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        t.args.push_back(v);
+      } while (AcceptSymbol(","));
+      JIGSAW_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    if (AcceptKeyword("AS")) {
+      JIGSAW_ASSIGN_OR_RETURN(t.alias, ExpectIdent("table alias"));
+    } else {
+      t.alias = t.table;
+    }
+    return t;
+  }
+
+  /// alias '.' column — a qualified ON-clause reference.
+  Result<std::pair<std::string, std::string>> ParseQualifiedColumn() {
+    std::pair<std::string, std::string> q;
+    JIGSAW_ASSIGN_OR_RETURN(q.first, ExpectIdent("table alias"));
+    JIGSAW_RETURN_IF_ERROR(ExpectSymbol("."));
+    JIGSAW_ASSIGN_OR_RETURN(q.second, ExpectIdent("column name"));
+    return q;
+  }
+
   Result<MonteCarloStmt> ParseMonteCarlo() {
     JIGSAW_RETURN_IF_ERROR(ExpectKeyword("MONTECARLO"));
     MonteCarloStmt mc;
+    if (AcceptKeyword("FROM")) {
+      MonteCarloJoinAst join;
+      JIGSAW_ASSIGN_OR_RETURN(join.left, ParseMonteCarloTable());
+      JIGSAW_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      JIGSAW_ASSIGN_OR_RETURN(join.right, ParseMonteCarloTable());
+      JIGSAW_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      JIGSAW_ASSIGN_OR_RETURN(auto lhs, ParseQualifiedColumn());
+      JIGSAW_RETURN_IF_ERROR(ExpectSymbol("="));
+      JIGSAW_ASSIGN_OR_RETURN(auto rhs, ParseQualifiedColumn());
+      join.on_left_alias = std::move(lhs.first);
+      join.on_left_column = std::move(lhs.second);
+      join.on_right_alias = std::move(rhs.first);
+      join.on_right_column = std::move(rhs.second);
+      mc.join = std::move(join);
+    }
     if (AcceptKeyword("OVER")) {
       MonteCarloSweepAst over;
       JIGSAW_ASSIGN_OR_RETURN(over.param, ExpectParam());

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "pdb/join.h"
 #include "pdb/layered_engine.h"
 #include "pdb/monte_carlo.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace jigsaw::sql {
 
@@ -82,6 +84,9 @@ std::string ScriptOutcome::Report() const {
                      graph->spec.series.size());
   }
   if (montecarlo) {
+    if (!montecarlo->join.empty()) {
+      out += "MONTECARLO join: " + montecarlo->join + "\n";
+    }
     if (!montecarlo->sweep_param.empty()) {
       out += StrFormat(
           "MONTECARLO OVER @%s (%s engine, %zu points x %zu worlds, %zu "
@@ -249,7 +254,53 @@ Result<ScriptOutcome> ScriptRunner::RunBound(
     }
 
     std::vector<std::map<std::string, OutputMetrics>> per_point;
-    if (bound.montecarlo->layered) {
+    if (bound.montecarlo->join) {
+      // FROM ... JOIN: fold the world-partitioned equi-join of the two
+      // bound VG tables instead of the row program. The join consumes no
+      // script parameters, so every sweep point is the standalone fold
+      // re-run under that point's name — trivially bit-identical to a
+      // one-point statement, which is exactly the sweep contract.
+      const MonteCarloJoinSpec& join = *bound.montecarlo->join;
+      mc.join = join.description;
+      // Summarize every numeric column of the joined schema, in schema
+      // order; strings have no distribution summary.
+      std::vector<std::string> columns;
+      for (const auto& col : join.resolved.output.columns()) {
+        if (col.type != pdb::ValueType::kString) columns.push_back(col.name);
+      }
+      const SeedVector seeds(config_.master_seed, config_.num_samples,
+                             config_.seed_schema);
+      std::unique_ptr<ThreadPool> owned_pool;
+      ThreadPool* pool = nullptr;
+      if (config_.num_threads > 1) {
+        pool = config_.shared_pool;
+        if (pool == nullptr) {
+          owned_pool = std::make_unique<ThreadPool>(config_.num_threads);
+          pool = owned_pool.get();
+        }
+      }
+      // USING LAYERED realizes through the WorldCache (the snapshot's
+      // shared cache when published, else a statement-local one); DIRECT
+      // realizes per-fold extents, matching the row-program engines.
+      pdb::WorldCache local_cache;
+      pdb::WorldCache* cache = nullptr;
+      if (bound.montecarlo->layered) {
+        cache =
+            shared.world_cache != nullptr ? shared.world_cache : &local_cache;
+      }
+      for (std::size_t k = 0; k < valuations.size(); ++k) {
+        auto folded = pdb::FoldJoinedVGColumns(
+            join.left, join.right, join.keys, columns, config_.num_samples,
+            seeds, config_, pool, cache);
+        if (!folded.ok()) {
+          if (valuations.size() > 1) {
+            return pdb::NameSweepPoint(k, folded.status());
+          }
+          return folded.status();
+        }
+        per_point.push_back(std::move(folded).value());
+      }
+    } else if (bound.montecarlo->layered) {
       // Layered path: the prototype's per-point executors, worlds fanned
       // out within each point, WorldCache shared across points (and, when
       // the snapshot publishes one, across sessions).

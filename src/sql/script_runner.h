@@ -54,6 +54,7 @@ struct MonteCarloOutcome {
   std::size_t worlds = 0;
   std::size_t num_threads = 1;  ///< worker threads the worlds fanned over
   bool layered = false;         ///< true if run through LayeredEngine
+  std::string join;  ///< FROM...JOIN description ("" for row-program runs)
   std::string sweep_param;      ///< OVER parameter name ("" if no sweep)
   std::vector<MonteCarloPoint> points;  ///< one per OVER point, in order
 

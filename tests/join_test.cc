@@ -1,0 +1,854 @@
+// Differential and property tests for the world-partitioned columnar
+// equi-join (pdb/join.h). The contract under test: sort-merge and hash
+// kernels, over both storage representations, any thread count and any
+// batch size, are bit-identical to the serial boxed nested-loop oracle —
+// values, output row order, metrics, error text AND error ordering.
+
+#include "pdb/join.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/run_config.h"
+#include "pdb/operators.h"
+#include "pdb/table.h"
+#include "pdb/vg_table.h"
+#include "random/seed_vector.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+#include "grid_test_util.h"
+
+namespace jigsaw::pdb {
+namespace {
+
+Value I(std::int64_t v) { return Value(v); }
+Value D(double v) { return Value(v); }
+Value B(bool v) { return Value(v); }
+Value S(std::string v) { return Value(std::move(v)); }
+
+// ---------------------------------------------------------------------------
+// Deterministic keyed VG tables. The join consumes no randomness, so the
+// differential tables derive rows arithmetically from the world id —
+// duplicate keys, NULL keys and varying row counts included — and stay
+// deterministic across every execution path by construction.
+// ---------------------------------------------------------------------------
+
+class KeyedVGTable final : public VGTableFunction {
+ public:
+  using FillFn = std::function<Status(std::size_t world, Table* out)>;
+  KeyedVGTable(std::string name, Schema schema, FillFn fill)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        fill_(std::move(fill)) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+  Result<Table> Generate(std::size_t sample_id,
+                         const SeedVector& /*seeds*/) const override {
+    Table t(schema_);
+    JIGSAW_RETURN_IF_ERROR(fill_(sample_id, &t));
+    return t;
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  FillFn fill_;
+};
+
+// Left side: 6..8 rows per world, int keys in [0, 5) with duplicates,
+// every fourth key NULL.
+VGTableFunctionPtr MakeIntLeft() {
+  Schema schema({{"k", ValueType::kInt}, {"lval", ValueType::kDouble}});
+  return std::make_shared<KeyedVGTable>(
+      "int_left", schema, [](std::size_t w, Table* out) -> Status {
+        const std::size_t rows = 6 + w % 3;
+        for (std::size_t i = 0; i < rows; ++i) {
+          Value key = i % 4 == 3
+                          ? Value::Null()
+                          : I(static_cast<std::int64_t>((2 * i + w) % 5));
+          JIGSAW_RETURN_IF_ERROR(out->AddRow(
+              {std::move(key), D(100.0 * static_cast<double>(w) +
+                                 static_cast<double>(i))}));
+        }
+        return Status::OK();
+      });
+}
+
+// Right side: 7..8 rows per world, overlapping key range, every fifth
+// key NULL.
+VGTableFunctionPtr MakeIntRight() {
+  Schema schema({{"k2", ValueType::kInt}, {"rval", ValueType::kDouble}});
+  return std::make_shared<KeyedVGTable>(
+      "int_right", schema, [](std::size_t w, Table* out) -> Status {
+        const std::size_t rows = 8 - w % 2;
+        for (std::size_t i = 0; i < rows; ++i) {
+          Value key = i % 5 == 4
+                          ? Value::Null()
+                          : I(static_cast<std::int64_t>((i + w) % 5));
+          JIGSAW_RETURN_IF_ERROR(out->AddRow(
+              {std::move(key), D(1000.0 * static_cast<double>(w) +
+                                 static_cast<double>(i))}));
+        }
+        return Status::OK();
+      });
+}
+
+// Double keys exercising the IEEE edge cases: -0.0 / +0.0 (one equality
+// class, two bit patterns) and NaN (matches nothing).
+Value DoubleKey(std::size_t w, std::size_t i) {
+  if (i % 7 == 6) return D(std::numeric_limits<double>::quiet_NaN());
+  if (i % 3 == 0) return D((w + i) % 2 == 0 ? 0.0 : -0.0);
+  return D(0.5 * static_cast<double>((i + w) % 4));
+}
+
+VGTableFunctionPtr MakeDoubleLeft() {
+  Schema schema({{"dk", ValueType::kDouble}, {"lval", ValueType::kDouble}});
+  return std::make_shared<KeyedVGTable>(
+      "double_left", schema, [](std::size_t w, Table* out) -> Status {
+        for (std::size_t i = 0; i < 8 + w % 2; ++i) {
+          JIGSAW_RETURN_IF_ERROR(out->AddRow(
+              {DoubleKey(w, i), D(10.0 * static_cast<double>(i) +
+                                  static_cast<double>(w))}));
+        }
+        return Status::OK();
+      });
+}
+
+VGTableFunctionPtr MakeDoubleRight() {
+  Schema schema({{"dk2", ValueType::kDouble}, {"rval", ValueType::kDouble}});
+  return std::make_shared<KeyedVGTable>(
+      "double_right", schema, [](std::size_t w, Table* out) -> Status {
+        for (std::size_t i = 0; i < 9; ++i) {
+          JIGSAW_RETURN_IF_ERROR(out->AddRow(
+              {DoubleKey(w + 1, i), D(-3.0 * static_cast<double>(i) -
+                                      static_cast<double>(w))}));
+        }
+        return Status::OK();
+      });
+}
+
+VGTableFunctionPtr MakeStringLeft() {
+  Schema schema({{"s", ValueType::kString}, {"lval", ValueType::kDouble}});
+  static const char* kNames[] = {"red", "green", "blue"};
+  return std::make_shared<KeyedVGTable>(
+      "string_left", schema, [](std::size_t w, Table* out) -> Status {
+        for (std::size_t i = 0; i < 7; ++i) {
+          Value key = i % 6 == 5 ? Value::Null() : S(kNames[(i + w) % 3]);
+          JIGSAW_RETURN_IF_ERROR(out->AddRow(
+              {std::move(key), D(static_cast<double>(i * 10 + w))}));
+        }
+        return Status::OK();
+      });
+}
+
+VGTableFunctionPtr MakeStringRight() {
+  Schema schema({{"s2", ValueType::kString}, {"rval", ValueType::kDouble}});
+  static const char* kNames[] = {"blue", "red", "yellow", "green"};
+  return std::make_shared<KeyedVGTable>(
+      "string_right", schema, [](std::size_t w, Table* out) -> Status {
+        for (std::size_t i = 0; i < 6 + w % 2; ++i) {
+          JIGSAW_RETURN_IF_ERROR(out->AddRow(
+              {S(kNames[(2 * i + w) % 4]), D(static_cast<double>(i) - 5.0)}));
+        }
+        return Status::OK();
+      });
+}
+
+// A generator that realizes normally below `fail_from` and errors at
+// every world at or past it — for proving error text and ordering match
+// the serial boxed loop on every path.
+VGTableFunctionPtr MakeFailingTable(std::string name,
+                                    std::size_t fail_from) {
+  Schema schema({{"k", ValueType::kInt}, {"v", ValueType::kDouble}});
+  return std::make_shared<KeyedVGTable>(
+      name, schema,
+      [name, fail_from](std::size_t w, Table* out) -> Status {
+        if (w >= fail_from) {
+          return Status::ExecutionError(
+              StrFormat("VG generator '%s' failed in world %zu",
+                        name.c_str(), w));
+        }
+        for (std::size_t i = 0; i < 4; ++i) {
+          JIGSAW_RETURN_IF_ERROR(
+              out->AddRow({I(static_cast<std::int64_t>(i % 3)),
+                           D(static_cast<double>(w * 10 + i))}));
+        }
+        return Status::OK();
+      });
+}
+
+// Right twin of the failing table with matching key space and no NULLs.
+VGTableFunctionPtr MakePlainRight(std::string name) {
+  Schema schema({{"k2", ValueType::kInt}, {"v2", ValueType::kDouble}});
+  return std::make_shared<KeyedVGTable>(
+      name, schema, [](std::size_t w, Table* out) -> Status {
+        for (std::size_t i = 0; i < 5; ++i) {
+          JIGSAW_RETURN_IF_ERROR(
+              out->AddRow({I(static_cast<std::int64_t>((i + w) % 3)),
+                           D(static_cast<double>(i))}));
+        }
+        return Status::OK();
+      });
+}
+
+void ExpectSameMetrics(const std::map<std::string, OutputMetrics>& expected,
+                       const std::map<std::string, OutputMetrics>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (const auto& [name, m] : expected) {
+    ASSERT_TRUE(actual.count(name)) << name;
+    const auto& a = actual.at(name);
+    EXPECT_EQ(m.count, a.count) << name;
+    EXPECT_EQ(m.mean, a.mean) << name;
+    EXPECT_EQ(m.stddev, a.stddev) << name;
+    EXPECT_EQ(m.std_error, a.std_error) << name;
+    EXPECT_EQ(m.p50, a.p50) << name;
+    EXPECT_EQ(m.p95, a.p95) << name;
+    EXPECT_EQ(m.min, a.min) << name;
+    EXPECT_EQ(m.max, a.max) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResolveJoin: every bind-time error shape, in resolution order.
+// ---------------------------------------------------------------------------
+
+Schema IntKeyed(const std::string& key, const std::string& val) {
+  return Schema({{key, ValueType::kInt}, {val, ValueType::kDouble}});
+}
+
+TEST(JoinResolveTest, UnknownLeftKeyFailsFirst) {
+  auto r = ResolveJoin(IntKeyed("a", "x"), IntKeyed("b", "y"),
+                       {"nope", "also_nope"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "no column named 'nope'");
+}
+
+TEST(JoinResolveTest, UnknownRightKey) {
+  auto r = ResolveJoin(IntKeyed("a", "x"), IntKeyed("b", "y"), {"a", "nope"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "no column named 'nope'");
+}
+
+TEST(JoinResolveTest, MismatchedKeyTypes) {
+  Schema right({{"b", ValueType::kString}, {"y", ValueType::kDouble}});
+  auto r = ResolveJoin(IntKeyed("a", "x"), right, {"a", "b"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "join keys 'a' (INT) and 'b' (STRING) have mismatched types");
+}
+
+TEST(JoinResolveTest, NullTypedKeysRejected) {
+  Schema left({{"a", ValueType::kNull}});
+  Schema right({{"b", ValueType::kNull}});
+  auto r = ResolveJoin(left, right, {"a", "b"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("mismatched types"), std::string::npos);
+}
+
+TEST(JoinResolveTest, DuplicateOutputColumnCaseInsensitive) {
+  auto r = ResolveJoin(IntKeyed("k", "shared"), IntKeyed("k2", "SHARED"),
+                       {"k", "k2"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "duplicate column 'SHARED' in join output");
+}
+
+TEST(JoinResolveTest, ResolvesCaseInsensitivelyAndConcatenatesSchema) {
+  auto r = ResolveJoin(IntKeyed("Key", "x"), IntKeyed("KEY2", "y"),
+                       {"kEy", "key2"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().left_slot, 0u);
+  EXPECT_EQ(r.value().right_slot, 0u);
+  EXPECT_EQ(r.value().key_type, ValueType::kInt);
+  ASSERT_EQ(r.value().output.num_columns(), 4u);
+  EXPECT_EQ(r.value().output.column(0).name, "Key");
+  EXPECT_EQ(r.value().output.column(2).name, "KEY2");
+}
+
+// ---------------------------------------------------------------------------
+// The oracle itself: canonical order and NULL semantics on hand-built
+// tables small enough to enumerate by hand.
+// ---------------------------------------------------------------------------
+
+TEST(JoinOracleTest, CanonicalNestedLoopOrder) {
+  Table left(IntKeyed("k", "lv"));
+  ASSERT_TRUE(left.AddRow({I(1), D(10.0)}).ok());
+  ASSERT_TRUE(left.AddRow({I(2), D(20.0)}).ok());
+  ASSERT_TRUE(left.AddRow({I(1), D(30.0)}).ok());
+  Table right(IntKeyed("k2", "rv"));
+  ASSERT_TRUE(right.AddRow({I(2), D(1.0)}).ok());
+  ASSERT_TRUE(right.AddRow({I(1), D(2.0)}).ok());
+  ASSERT_TRUE(right.AddRow({I(1), D(3.0)}).ok());
+
+  auto join = ResolveJoin(left.schema(), right.schema(), {"k", "k2"});
+  ASSERT_TRUE(join.ok());
+  auto out = NestedLoopJoinOracle(left, right, join.value());
+  ASSERT_TRUE(out.ok());
+  // Left rows in order; for each, right matches in order.
+  const std::vector<std::pair<double, double>> expected = {
+      {10.0, 2.0}, {10.0, 3.0}, {20.0, 1.0}, {30.0, 2.0}, {30.0, 3.0}};
+  ASSERT_EQ(out.value().num_rows(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(out.value().row(i)[1].AsDouble(), expected[i].first) << i;
+    EXPECT_EQ(out.value().row(i)[3].AsDouble(), expected[i].second) << i;
+  }
+}
+
+TEST(JoinOracleTest, NullKeysNeverMatchNotEvenEachOther) {
+  Table left(IntKeyed("k", "lv"));
+  ASSERT_TRUE(left.AddRow({Value::Null(), D(1.0)}).ok());
+  ASSERT_TRUE(left.AddRow({I(7), D(2.0)}).ok());
+  Table right(IntKeyed("k2", "rv"));
+  ASSERT_TRUE(right.AddRow({Value::Null(), D(3.0)}).ok());
+  ASSERT_TRUE(right.AddRow({I(7), D(4.0)}).ok());
+
+  auto join = ResolveJoin(left.schema(), right.schema(), {"k", "k2"});
+  ASSERT_TRUE(join.ok());
+  auto out = NestedLoopJoinOracle(left, right, join.value());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().num_rows(), 1u);
+  EXPECT_EQ(out.value().row(0)[1].AsDouble(), 2.0);
+  EXPECT_EQ(out.value().row(0)[3].AsDouble(), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// JoinPartition: both span kernels, all four key types, bit-identical to
+// the oracle (SameContent compares bit patterns, so even a -0.0 gathered
+// where a +0.0 belongs would fail).
+// ---------------------------------------------------------------------------
+
+void ExpectPartitionMatchesOracle(const Table& left, const Table& right,
+                                  const std::string& lkey,
+                                  const std::string& rkey) {
+  auto join = ResolveJoin(left.schema(), right.schema(), {lkey, rkey});
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  auto oracle = NestedLoopJoinOracle(left, right, join.value());
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  auto oracle_columnar = ColumnarTable::FromTable(oracle.value());
+  ASSERT_TRUE(oracle_columnar.ok()) << oracle_columnar.status().ToString();
+
+  auto lcol = ColumnarTable::FromTable(left);
+  auto rcol = ColumnarTable::FromTable(right);
+  ASSERT_TRUE(lcol.ok());
+  ASSERT_TRUE(rcol.ok());
+  for (JoinAlgorithm algorithm :
+       {JoinAlgorithm::kSortMerge, JoinAlgorithm::kHash}) {
+    SCOPED_TRACE(algorithm == JoinAlgorithm::kSortMerge ? "sort-merge"
+                                                        : "hash");
+    ColumnarTable out(join.value().output);
+    ASSERT_TRUE(JoinPartition(lcol.value(), 0, lcol.value().num_rows(),
+                              rcol.value(), 0, rcol.value().num_rows(),
+                              join.value(), algorithm, &out)
+                    .ok());
+    EXPECT_TRUE(out.SameContent(oracle_columnar.value()));
+  }
+}
+
+TEST(JoinPartitionTest, IntKeysWithDuplicatesAndNulls) {
+  Table left(IntKeyed("k", "lv"));
+  Table right(IntKeyed("k2", "rv"));
+  for (std::size_t i = 0; i < 12; ++i) {
+    Value key = i % 4 == 3 ? Value::Null()
+                           : I(static_cast<std::int64_t>((i * 3) % 5));
+    ASSERT_TRUE(
+        left.AddRow({std::move(key), D(static_cast<double>(i))}).ok());
+  }
+  for (std::size_t j = 0; j < 10; ++j) {
+    Value key = j % 5 == 4 ? Value::Null()
+                           : I(static_cast<std::int64_t>(j % 6));
+    ASSERT_TRUE(
+        right.AddRow({std::move(key), D(100.0 + static_cast<double>(j))})
+            .ok());
+  }
+  ExpectPartitionMatchesOracle(left, right, "k", "k2");
+}
+
+TEST(JoinPartitionTest, DoubleKeysSignedZeroAndNaN) {
+  Schema ls({{"dk", ValueType::kDouble}, {"lv", ValueType::kDouble}});
+  Schema rs({{"dk2", ValueType::kDouble}, {"rv", ValueType::kDouble}});
+  Table left(ls);
+  Table right(rs);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> lkeys = {0.0, -0.0, 1.5, nan, 2.5, 1.5, -0.0};
+  const std::vector<double> rkeys = {-0.0, 1.5, nan, 0.0, 3.5, 1.5};
+  for (std::size_t i = 0; i < lkeys.size(); ++i) {
+    ASSERT_TRUE(
+        left.AddRow({D(lkeys[i]), D(static_cast<double>(i))}).ok());
+  }
+  for (std::size_t j = 0; j < rkeys.size(); ++j) {
+    ASSERT_TRUE(
+        right.AddRow({D(rkeys[j]), D(50.0 + static_cast<double>(j))}).ok());
+  }
+  ExpectPartitionMatchesOracle(left, right, "dk", "dk2");
+}
+
+TEST(JoinPartitionTest, BoolKeys) {
+  Schema ls({{"bk", ValueType::kBool}, {"lv", ValueType::kDouble}});
+  Schema rs({{"bk2", ValueType::kBool}, {"rv", ValueType::kDouble}});
+  Table left(ls);
+  Table right(rs);
+  for (std::size_t i = 0; i < 6; ++i) {
+    Value key = i == 4 ? Value::Null() : B(i % 2 == 0);
+    ASSERT_TRUE(
+        left.AddRow({std::move(key), D(static_cast<double>(i))}).ok());
+  }
+  for (std::size_t j = 0; j < 5; ++j) {
+    ASSERT_TRUE(
+        right.AddRow({B(j % 3 == 0), D(10.0 * static_cast<double>(j))})
+            .ok());
+  }
+  ExpectPartitionMatchesOracle(left, right, "bk", "bk2");
+}
+
+TEST(JoinPartitionTest, StringKeys) {
+  Schema ls({{"s", ValueType::kString}, {"lv", ValueType::kDouble}});
+  Schema rs({{"s2", ValueType::kString}, {"rv", ValueType::kDouble}});
+  Table left(ls);
+  Table right(rs);
+  const std::vector<std::string> lkeys = {"red",  "blue", "red",
+                                          "green", "blue", "red"};
+  const std::vector<std::string> rkeys = {"blue", "red", "yellow", "red"};
+  for (std::size_t i = 0; i < lkeys.size(); ++i) {
+    ASSERT_TRUE(
+        left.AddRow({S(lkeys[i]), D(static_cast<double>(i))}).ok());
+  }
+  for (std::size_t j = 0; j < rkeys.size(); ++j) {
+    ASSERT_TRUE(
+        right.AddRow({S(rkeys[j]), D(-static_cast<double>(j))}).ok());
+  }
+  ExpectPartitionMatchesOracle(left, right, "s", "s2");
+}
+
+TEST(JoinPartitionTest, EmptySidesYieldEmptyOutput) {
+  Table left(IntKeyed("k", "lv"));
+  Table right(IntKeyed("k2", "rv"));
+  ASSERT_TRUE(right.AddRow({I(1), D(1.0)}).ok());
+  ExpectPartitionMatchesOracle(left, right, "k", "k2");   // empty left
+  ExpectPartitionMatchesOracle(right, left, "k2", "k");   // empty right
+}
+
+// ---------------------------------------------------------------------------
+// JoinWorlds: world partitions never mix, world ids are stamped, and
+// mismatched extents are rejected.
+// ---------------------------------------------------------------------------
+
+TEST(JoinWorldsTest, RejectsMismatchedWorldRanges) {
+  const SeedVector seeds(0x77, 8);
+  auto left = MakeIntLeft();
+  auto right = MakeIntRight();
+  WorldExtent lext, rext;
+  lext.world_begin = 0;
+  rext.world_begin = 0;
+  ASSERT_TRUE(lext.AppendWorld(*left, 0, seeds).ok());
+  ASSERT_TRUE(lext.AppendWorld(*left, 1, seeds).ok());
+  ASSERT_TRUE(rext.AppendWorld(*right, 0, seeds).ok());
+
+  auto join = ResolveJoin(left->schema(), right->schema(), {"k", "k2"});
+  ASSERT_TRUE(join.ok());
+  WorldExtent out;
+  Status s = JoinWorlds(lext, rext, join.value(), JoinAlgorithm::kSortMerge,
+                        &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "joined extents cover different world ranges");
+}
+
+TEST(JoinWorldsTest, PartitionsWorldsAndStampsWorldIds) {
+  const SeedVector seeds(0x77, 8);
+  auto left = MakeIntLeft();
+  auto right = MakeIntRight();
+  auto join = ResolveJoin(left->schema(), right->schema(), {"k", "k2"});
+  ASSERT_TRUE(join.ok());
+
+  constexpr std::size_t kWorlds = 4;
+  WorldExtent lext, rext;
+  lext.world_begin = 0;
+  rext.world_begin = 0;
+  for (std::size_t w = 0; w < kWorlds; ++w) {
+    ASSERT_TRUE(lext.AppendWorld(*left, w, seeds).ok());
+    ASSERT_TRUE(rext.AppendWorld(*right, w, seeds).ok());
+  }
+  for (JoinAlgorithm algorithm :
+       {JoinAlgorithm::kSortMerge, JoinAlgorithm::kHash}) {
+    WorldExtent out;
+    ASSERT_TRUE(JoinWorlds(lext, rext, join.value(), algorithm, &out).ok());
+    ASSERT_EQ(out.row_offsets.size(), kWorlds);
+    ASSERT_EQ(out.world_ids.size(), out.data.num_rows());
+
+    // Each world's partition is bit-identical to the per-world oracle,
+    // and every row of it carries that world's id.
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < kWorlds; ++w) {
+      auto lt = left->Generate(w, seeds);
+      auto rt = right->Generate(w, seeds);
+      ASSERT_TRUE(lt.ok());
+      ASSERT_TRUE(rt.ok());
+      auto oracle = NestedLoopJoinOracle(lt.value(), rt.value(), join.value());
+      ASSERT_TRUE(oracle.ok());
+      const auto [first, last] = out.WorldRows(w);
+      ASSERT_EQ(last - first, oracle.value().num_rows()) << "world " << w;
+      Row boxed;
+      for (std::size_t r = first; r < last; ++r) {
+        EXPECT_EQ(out.world_ids.Ints()[r], static_cast<std::int64_t>(w));
+        out.data.BoxRow(r, &boxed);
+        const Row& expect = oracle.value().row(r - first);
+        ASSERT_EQ(boxed.size(), expect.size());
+        for (std::size_t c = 0; c < expect.size(); ++c) {
+          EXPECT_TRUE(boxed[c] == expect[c])
+              << "world " << w << " row " << r - first << " col " << c;
+        }
+      }
+      total += last - first;
+    }
+    EXPECT_EQ(total, out.data.num_rows());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MakeJoinedVGScan: the Volcano leaf streams exactly the oracle's rows
+// and insists on a seed vector.
+// ---------------------------------------------------------------------------
+
+TEST(JoinScanNodeTest, RequiresSeedVector) {
+  auto left = MakeIntLeft();
+  auto right = MakeIntRight();
+  auto join = ResolveJoin(left->schema(), right->schema(), {"k", "k2"});
+  ASSERT_TRUE(join.ok());
+  auto plan = MakeJoinedVGScan(left, right, join.value());
+  EvalContext ctx;
+  ctx.seeds = nullptr;
+  Status s = plan->Open(ctx);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "joined VG scan requires a seed vector");
+}
+
+TEST(JoinScanNodeTest, StreamsOracleRowsPerWorld) {
+  const SeedVector seeds(0x99, 4);
+  auto left = MakeIntLeft();
+  auto right = MakeIntRight();
+  auto join = ResolveJoin(left->schema(), right->schema(), {"k", "k2"});
+  ASSERT_TRUE(join.ok());
+  for (std::size_t w = 0; w < 3; ++w) {
+    auto plan = MakeJoinedVGScan(left, right, join.value());
+    EvalContext ctx;
+    ctx.sample_id = w;
+    ctx.seeds = &seeds;
+    auto streamed = ExecuteToTable(*plan, ctx);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+    auto lt = left->Generate(w, seeds);
+    auto rt = right->Generate(w, seeds);
+    ASSERT_TRUE(lt.ok());
+    ASSERT_TRUE(rt.ok());
+    auto oracle = NestedLoopJoinOracle(lt.value(), rt.value(), join.value());
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_EQ(streamed.value().num_rows(), oracle.value().num_rows());
+    for (std::size_t r = 0; r < oracle.value().num_rows(); ++r) {
+      const Row& got = streamed.value().row(r);
+      const Row& expect = oracle.value().row(r);
+      ASSERT_EQ(got.size(), expect.size());
+      for (std::size_t c = 0; c < expect.size(); ++c) {
+        EXPECT_TRUE(got[c] == expect[c]) << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FoldJoinedVGColumns: the full differential grid. Reference = serial
+// boxed (threads=1, columnar off); every (storage, algorithm, threads,
+// batch) combination must reproduce its metrics bit-for-bit.
+// ---------------------------------------------------------------------------
+
+class JoinFoldTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kWorlds = 12;
+
+  Result<std::map<std::string, OutputMetrics>> Fold(
+      const VGTableFunctionPtr& left, const VGTableFunctionPtr& right,
+      const JoinSpec& keys, const std::vector<std::string>& columns,
+      const RunConfig& config, WorldCache* cache = nullptr) {
+    const SeedVector seeds(config.master_seed, config.num_samples,
+                           config.seed_schema);
+    std::unique_ptr<ThreadPool> pool;
+    if (config.num_threads > 1) {
+      pool = std::make_unique<ThreadPool>(config.num_threads);
+    }
+    return FoldJoinedVGColumns(left, right, keys, columns,
+                               config.num_samples, seeds, config, pool.get(),
+                               cache);
+  }
+
+  RunConfig BaseConfig() const {
+    RunConfig config;
+    config.num_samples = kWorlds;
+    config.master_seed = 0xA11CE;
+    return config;
+  }
+
+  // Serial boxed reference at batch 1 — the most granular serial walk.
+  Result<std::map<std::string, OutputMetrics>> Reference(
+      const VGTableFunctionPtr& left, const VGTableFunctionPtr& right,
+      const JoinSpec& keys, const std::vector<std::string>& columns) {
+    RunConfig config = BaseConfig();
+    config.columnar_storage = false;
+    config.num_threads = 1;
+    config.batch_size = 1;
+    return Fold(left, right, keys, columns, config);
+  }
+
+  void ExpectGridBitIdentical(const VGTableFunctionPtr& left,
+                              const VGTableFunctionPtr& right,
+                              const JoinSpec& keys,
+                              const std::vector<std::string>& columns) {
+    auto reference = Reference(left, right, keys, columns);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+      for (bool columnar : {false, true}) {
+        for (JoinAlgorithm algorithm :
+             {JoinAlgorithm::kSortMerge, JoinAlgorithm::kHash}) {
+          SCOPED_TRACE(::testing::Message()
+                       << (columnar ? "columnar" : "boxed") << " "
+                       << (algorithm == JoinAlgorithm::kSortMerge
+                               ? "sort-merge"
+                               : "hash"));
+          RunConfig config = BaseConfig();
+          config.columnar_storage = columnar;
+          config.join_algorithm = algorithm;
+          config.num_threads = threads;
+          config.batch_size = batch;
+          auto got = Fold(left, right, keys, columns, config);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ExpectSameMetrics(reference.value(), got.value());
+        }
+      }
+    });
+  }
+};
+
+TEST_F(JoinFoldTest, IntKeysBitIdenticalAcrossFullGrid) {
+  ExpectGridBitIdentical(MakeIntLeft(), MakeIntRight(), {"k", "k2"},
+                         {"lval", "rval"});
+}
+
+TEST_F(JoinFoldTest, DoubleKeysBitIdenticalAcrossFullGrid) {
+  ExpectGridBitIdentical(MakeDoubleLeft(), MakeDoubleRight(), {"dk", "dk2"},
+                         {"lval", "rval"});
+}
+
+TEST_F(JoinFoldTest, StringKeysBitIdenticalAcrossFullGrid) {
+  ExpectGridBitIdentical(MakeStringLeft(), MakeStringRight(), {"s", "s2"},
+                         {"lval", "rval"});
+}
+
+TEST_F(JoinFoldTest, UsersJoinItemsBothSeedSchemas) {
+  auto users = MakeUsersVGTable(40, 0.8, 5.0, 2.0);
+  auto items = MakeScalingItemsVGTable(60);
+  const JoinSpec keys{"user_id", "item_id"};
+  const std::vector<std::string> columns = {"requirement", "demand", "cost"};
+  for (SeedSchema schema : {SeedSchema::kV1, SeedSchema::kV2}) {
+    SCOPED_TRACE(schema == SeedSchema::kV1 ? "seed schema v1"
+                                           : "seed schema v2");
+    RunConfig ref_config = BaseConfig();
+    ref_config.seed_schema = schema;
+    ref_config.columnar_storage = false;
+    ref_config.num_threads = 1;
+    ref_config.batch_size = 1;
+    auto reference = Fold(users, items, keys, columns, ref_config);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    // The join keys overlap by construction (user ids live inside the
+    // item id range), so the differential is not vacuous.
+    ASSERT_GT(reference.value().at("requirement").count, 0);
+
+    test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+      for (bool columnar : {false, true}) {
+        for (JoinAlgorithm algorithm :
+             {JoinAlgorithm::kSortMerge, JoinAlgorithm::kHash}) {
+          RunConfig config = BaseConfig();
+          config.seed_schema = schema;
+          config.columnar_storage = columnar;
+          config.join_algorithm = algorithm;
+          config.num_threads = threads;
+          config.batch_size = batch;
+          auto got = Fold(users, items, keys, columns, config);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ExpectSameMetrics(reference.value(), got.value());
+        }
+      }
+    });
+  }
+}
+
+TEST_F(JoinFoldTest, AllNullKeysFoldZeroTuplesEverywhere) {
+  Schema schema({{"k", ValueType::kInt}, {"lval", ValueType::kDouble}});
+  auto null_left = std::make_shared<KeyedVGTable>(
+      "null_left", schema, [](std::size_t w, Table* out) -> Status {
+        for (std::size_t i = 0; i < 3 + w % 2; ++i) {
+          JIGSAW_RETURN_IF_ERROR(
+              out->AddRow({Value::Null(), D(static_cast<double>(i))}));
+        }
+        return Status::OK();
+      });
+  auto reference = Reference(null_left, MakeIntRight(), {"k", "k2"},
+                             {"lval", "rval"});
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_EQ(reference.value().at("lval").count, 0);
+  EXPECT_EQ(reference.value().at("rval").count, 0);
+  ExpectGridBitIdentical(null_left, MakeIntRight(), {"k", "k2"},
+                         {"lval", "rval"});
+}
+
+TEST_F(JoinFoldTest, WorldCacheSharesRealizationsAcrossRuns) {
+  auto left = MakeIntLeft();
+  auto right = MakeIntRight();
+  const JoinSpec keys{"k", "k2"};
+  const std::vector<std::string> columns = {"lval", "rval"};
+  auto reference = Reference(left, right, keys, columns);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  WorldCache cache;
+  RunConfig config = BaseConfig();
+  config.columnar_storage = true;
+  config.num_threads = 2;
+  config.batch_size = 7;
+  auto cached = Fold(left, right, keys, columns, config, &cache);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  ExpectSameMetrics(reference.value(), cached.value());
+  // One generation per (table, world), none for cache hits afterwards.
+  EXPECT_EQ(cache.generation_count(), 2 * kWorlds);
+
+  auto rerun = Fold(left, right, keys, columns, config, &cache);
+  ASSERT_TRUE(rerun.ok());
+  ExpectSameMetrics(reference.value(), rerun.value());
+  EXPECT_EQ(cache.generation_count(), 2 * kWorlds);
+
+  // The boxed twin re-reads the same cache entries (conversion between
+  // representations never counts as a generation).
+  config.columnar_storage = false;
+  auto boxed = Fold(left, right, keys, columns, config, &cache);
+  ASSERT_TRUE(boxed.ok());
+  ExpectSameMetrics(reference.value(), boxed.value());
+  EXPECT_EQ(cache.generation_count(), 2 * kWorlds);
+}
+
+// ---------------------------------------------------------------------------
+// Error identity: the failing world's error text is the serial boxed
+// loop's, on every path, whichever side fails first.
+// ---------------------------------------------------------------------------
+
+class JoinErrorTest : public JoinFoldTest {
+ protected:
+  void ExpectSameErrorEverywhere(const VGTableFunctionPtr& left,
+                                 const VGTableFunctionPtr& right,
+                                 const JoinSpec& keys,
+                                 const std::vector<std::string>& columns,
+                                 const std::string& expected_message) {
+    auto reference = Reference(left, right, keys, columns);
+    ASSERT_FALSE(reference.ok());
+    EXPECT_EQ(reference.status().message(), expected_message);
+    test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+      for (bool columnar : {false, true}) {
+        for (JoinAlgorithm algorithm :
+             {JoinAlgorithm::kSortMerge, JoinAlgorithm::kHash}) {
+          SCOPED_TRACE(::testing::Message()
+                       << (columnar ? "columnar" : "boxed"));
+          RunConfig config = BaseConfig();
+          config.columnar_storage = columnar;
+          config.join_algorithm = algorithm;
+          config.num_threads = threads;
+          config.batch_size = batch;
+          auto got = Fold(left, right, keys, columns, config);
+          ASSERT_FALSE(got.ok());
+          EXPECT_EQ(got.status().code(), reference.status().code());
+          EXPECT_EQ(got.status().message(), expected_message);
+        }
+      }
+    });
+  }
+};
+
+TEST_F(JoinErrorTest, LeftGeneratorFailureSurfacesSerially) {
+  // Left fails from world 5 on; right never fails. The serial loop hits
+  // the left failure first in world 5 on every path.
+  ExpectSameErrorEverywhere(
+      MakeFailingTable("flaky_left", 5), MakePlainRight("plain_right"),
+      {"k", "k2"}, {"v", "v2"},
+      "VG generator 'flaky_left' failed in world 5");
+}
+
+TEST_F(JoinErrorTest, RightGeneratorFailureSurfacesSerially) {
+  // Right fails from world 3 on while left keeps succeeding: the serial
+  // order realizes left world 3 then right world 3, so the surfaced
+  // error is the right side's — including on the interleaved columnar
+  // realization path.
+  auto plain_left = MakeFailingTable("plain_left", kWorlds + 1);
+  Schema rschema({{"k2", ValueType::kInt}, {"v2", ValueType::kDouble}});
+  auto flaky_right = std::make_shared<KeyedVGTable>(
+      "flaky_right", rschema, [](std::size_t w, Table* out) -> Status {
+        if (w >= 3) {
+          return Status::ExecutionError(
+              StrFormat("VG generator 'flaky_right' failed in world %zu", w));
+        }
+        for (std::size_t i = 0; i < 4; ++i) {
+          JIGSAW_RETURN_IF_ERROR(
+              out->AddRow({I(static_cast<std::int64_t>(i % 3)),
+                           D(static_cast<double>(i))}));
+        }
+        return Status::OK();
+      });
+  ExpectSameErrorEverywhere(plain_left, flaky_right, {"k", "k2"},
+                            {"v", "v2"},
+                            "VG generator 'flaky_right' failed in world 3");
+}
+
+TEST_F(JoinErrorTest, EarlierLeftFailureWinsOverLaterRightFailure) {
+  // Left fails from world 2, right from world 4: world 2's left
+  // realization is the first serial failure.
+  Schema rschema({{"k2", ValueType::kInt}, {"v2", ValueType::kDouble}});
+  auto flaky_right = std::make_shared<KeyedVGTable>(
+      "flaky_right", rschema, [](std::size_t w, Table* out) -> Status {
+        if (w >= 4) {
+          return Status::ExecutionError(
+              StrFormat("VG generator 'flaky_right' failed in world %zu", w));
+        }
+        return out->AddRow({I(0), D(0.0)});
+      });
+  ExpectSameErrorEverywhere(MakeFailingTable("flaky_left", 2), flaky_right,
+                            {"k", "k2"}, {"v", "v2"},
+                            "VG generator 'flaky_left' failed in world 2");
+}
+
+TEST_F(JoinErrorTest, NonNumericAndUnknownFoldColumnsFailUpFront) {
+  auto users = MakeUsersVGTable(8, 0.8, 5.0, 2.0);
+  auto items = MakeScalingItemsVGTable(10);
+  const JoinSpec keys{"user_id", "item_id"};
+  ExpectSameErrorEverywhere(users, items, keys, {"region"},
+                            "column 'region' is not numeric");
+  ExpectSameErrorEverywhere(users, items, keys, {"no_such_column"},
+                            "no column named 'no_such_column'");
+}
+
+TEST_F(JoinErrorTest, ResolveErrorsIdenticalOnEveryPath) {
+  auto users = MakeUsersVGTable(8, 0.8, 5.0, 2.0);
+  auto items = MakeScalingItemsVGTable(10);
+  ExpectSameErrorEverywhere(
+      users, items, {"user_id", "region"}, {"cost"},
+      "join keys 'user_id' (INT) and 'region' (STRING) have mismatched "
+      "types");
+  ExpectSameErrorEverywhere(users, users, {"user_id", "user_id"},
+                            {"requirement"},
+                            "duplicate column 'user_id' in join output");
+}
+
+}  // namespace
+}  // namespace jigsaw::pdb

@@ -16,6 +16,7 @@
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "sql/script_runner.h"
+#include "util/string_util.h"
 
 namespace jigsaw::sql {
 namespace {
@@ -1240,6 +1241,244 @@ TEST_F(BinderTest, NonChainScenarioRejectedByChainRunner) {
   EXPECT_EQ(
       RunChainScenario(bound.value(), "d", 5, cfg, true).status().code(),
       StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// MONTECARLO FROM ... JOIN: the uncertain-join surface end to end —
+// parse shape, bind-time error shapes, and bit-identity of the engine /
+// storage / algorithm / sweep combinations.
+// ---------------------------------------------------------------------------
+
+TEST(JoinSqlParseTest, ParsesJoinClauseWithAliasesAndArgs) {
+  auto script = ParseScript(
+      "MONTECARLO FROM users(20, 0.8, 5.0, 2.0) AS u "
+      "JOIN items(30) AS i ON u.user_id = i.item_id USING LAYERED;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  const auto& mc = *script.value().statements[0].montecarlo;
+  ASSERT_TRUE(mc.join.has_value());
+  EXPECT_TRUE(mc.layered);
+  EXPECT_EQ(mc.join->left.table, "users");
+  ASSERT_EQ(mc.join->left.args.size(), 4u);
+  EXPECT_DOUBLE_EQ(mc.join->left.args[1], 0.8);
+  EXPECT_EQ(mc.join->left.alias, "u");
+  EXPECT_EQ(mc.join->right.table, "items");
+  ASSERT_EQ(mc.join->right.args.size(), 1u);
+  EXPECT_EQ(mc.join->right.alias, "i");
+  EXPECT_EQ(mc.join->on_left_alias, "u");
+  EXPECT_EQ(mc.join->on_left_column, "user_id");
+  EXPECT_EQ(mc.join->on_right_alias, "i");
+  EXPECT_EQ(mc.join->on_right_column, "item_id");
+}
+
+TEST(JoinSqlParseTest, AliasDefaultsToTableNameAndOnSidesMaySwap) {
+  auto script = ParseScript(
+      "MONTECARLO FROM users(8, 0.8, 5.0, 2.0) JOIN items(9) "
+      "ON items.item_id = users.user_id OVER @w IN (1, 2);");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  const auto& mc = *script.value().statements[0].montecarlo;
+  ASSERT_TRUE(mc.join.has_value());
+  EXPECT_EQ(mc.join->left.alias, "users");
+  EXPECT_EQ(mc.join->right.alias, "items");
+  EXPECT_EQ(mc.join->on_left_alias, "items");
+  EXPECT_EQ(mc.join->on_right_alias, "users");
+  ASSERT_TRUE(mc.over.has_value());
+}
+
+TEST(JoinSqlParseTest, MalformedJoinClausesRejected) {
+  // Missing ON clause.
+  EXPECT_FALSE(
+      ParseScript("MONTECARLO FROM users(1) JOIN items(1);").ok());
+  // Unqualified ON column.
+  EXPECT_FALSE(
+      ParseScript(
+          "MONTECARLO FROM users(1) JOIN items(1) ON user_id = item_id;")
+          .ok());
+  // Missing JOIN keyword.
+  EXPECT_FALSE(ParseScript("MONTECARLO FROM users(1);").ok());
+}
+
+class JoinSqlTest : public BinderTest {
+ protected:
+  // The scenario SELECT is mandatory for every script (binder pass 2)
+  // but a joined MONTECARLO never consults the row program.
+  static constexpr const char* kJoinScript = R"(
+SELECT 1 AS one INTO r;
+MONTECARLO FROM users(20, 0.8, 5.0, 2.0) AS u JOIN items(30) AS i
+           ON u.user_id = i.item_id%s;
+)";
+
+  static std::string Script(const std::string& suffix) {
+    return jigsaw::StrFormat(kJoinScript, suffix.c_str());
+  }
+
+  Result<ScriptOutcome> RunJoin(const std::string& text, bool columnar,
+                                JoinAlgorithm algorithm, std::size_t threads,
+                                std::size_t batch,
+                                std::size_t samples = 12) {
+    RunConfig cfg;
+    cfg.num_samples = samples;
+    cfg.num_threads = threads;
+    cfg.batch_size = batch;
+    cfg.columnar_storage = columnar;
+    cfg.join_algorithm = algorithm;
+    ScriptRunner runner(&registry_, cfg);
+    return runner.Run(text);
+  }
+
+  static void ExpectSameMetrics(
+      const std::map<std::string, OutputMetrics>& expected,
+      const std::map<std::string, OutputMetrics>& actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (const auto& [name, m] : expected) {
+      ASSERT_TRUE(actual.count(name)) << name;
+      const auto& a = actual.at(name);
+      EXPECT_EQ(m.count, a.count) << name;
+      EXPECT_EQ(m.mean, a.mean) << name;
+      EXPECT_EQ(m.stddev, a.stddev) << name;
+      EXPECT_EQ(m.std_error, a.std_error) << name;
+      EXPECT_EQ(m.p50, a.p50) << name;
+      EXPECT_EQ(m.p95, a.p95) << name;
+      EXPECT_EQ(m.min, a.min) << name;
+      EXPECT_EQ(m.max, a.max) << name;
+    }
+  }
+
+  void ExpectBindError(const std::string& script,
+                       const std::string& message_fragment) {
+    auto bound = ParseAndBind(script, registry_);
+    ASSERT_FALSE(bound.ok()) << script;
+    EXPECT_EQ(bound.status().code(), StatusCode::kBindError) << script;
+    EXPECT_NE(bound.status().message().find(message_fragment),
+              std::string::npos)
+        << bound.status().message();
+  }
+};
+
+TEST_F(JoinSqlTest, SummarizesEveryNumericJoinedColumn) {
+  auto outcome = RunJoin(Script(""), /*columnar=*/true,
+                         JoinAlgorithm::kSortMerge, 1, 64);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const auto& mc = *outcome.value().montecarlo;
+  EXPECT_EQ(mc.join, "users AS u JOIN items AS i ON u.user_id = i.item_id");
+  // All numeric columns of (users x items), schema order; the string
+  // 'region' has no distribution summary.
+  ASSERT_EQ(mc.columns.size(), 7u);
+  for (const char* name : {"user_id", "signup_week", "requirement",
+                           "item_id", "demand", "cost", "in_stock"}) {
+    EXPECT_TRUE(mc.columns.count(name)) << name;
+  }
+  EXPECT_FALSE(mc.columns.count("region"));
+  EXPECT_GT(mc.columns.at("requirement").count, 0);
+  EXPECT_NE(outcome.value().Report().find(
+                "MONTECARLO join: users AS u JOIN items AS i"),
+            std::string::npos);
+}
+
+TEST_F(JoinSqlTest, EnginesStorageAndAlgorithmsBitIdenticalAcrossGrid) {
+  // Reference: DIRECT, boxed, serial nested-loop oracle.
+  auto reference = RunJoin(Script(""), /*columnar=*/false,
+                           JoinAlgorithm::kSortMerge, 1, 1);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  test::ForEachGridPoint([&](std::size_t threads, std::size_t batch) {
+    for (const char* engine : {"", " USING DIRECT", " USING LAYERED"}) {
+      for (bool columnar : {false, true}) {
+        for (JoinAlgorithm algorithm :
+             {JoinAlgorithm::kSortMerge, JoinAlgorithm::kHash}) {
+          SCOPED_TRACE(::testing::Message()
+                       << "engine=" << (engine[0] ? engine : " default")
+                       << (columnar ? " columnar" : " boxed"));
+          auto got =
+              RunJoin(Script(engine), columnar, algorithm, threads, batch);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_EQ(got.value().montecarlo->layered,
+                    std::string(engine) == " USING LAYERED");
+          ExpectSameMetrics(reference.value().montecarlo->columns,
+                            got.value().montecarlo->columns);
+        }
+      }
+    }
+  });
+}
+
+TEST_F(JoinSqlTest, SweepPointsBitIdenticalToStandalone) {
+  // The join ignores script parameters, so every OVER point must carry
+  // exactly the standalone statement's summaries.
+  const std::string sweep_script =
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;" +
+      Script(" OVER @w IN (1, 3, 5)");
+  const std::string standalone_script =
+      "DECLARE PARAMETER @w AS RANGE 0 TO 5 STEP BY 1;" + Script("");
+  for (bool columnar : {false, true}) {
+    auto standalone = RunJoin(standalone_script, columnar,
+                              JoinAlgorithm::kHash, 2, 7);
+    auto sweep = RunJoin(sweep_script, columnar, JoinAlgorithm::kHash, 2, 7);
+    ASSERT_TRUE(standalone.ok()) << standalone.status().ToString();
+    ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+    const auto& mc = *sweep.value().montecarlo;
+    EXPECT_EQ(mc.sweep_param, "w");
+    ASSERT_EQ(mc.points.size(), 3u);
+    EXPECT_DOUBLE_EQ(mc.points[1].value, 3.0);
+    for (const auto& point : mc.points) {
+      ExpectSameMetrics(standalone.value().montecarlo->columns,
+                        point.columns);
+    }
+  }
+}
+
+TEST_F(JoinSqlTest, BindErrorShapes) {
+  // Unknown VG table in the catalog.
+  ExpectBindError(
+      "SELECT 1 AS one INTO r;"
+      "MONTECARLO FROM ghosts(3) AS g JOIN items(3) AS i "
+      "ON g.x = i.item_id;",
+      "unknown VG table 'ghosts'");
+  // Wrong constructor arity.
+  ExpectBindError(
+      "SELECT 1 AS one INTO r;"
+      "MONTECARLO FROM users(20) AS u JOIN items(3) AS i "
+      "ON u.user_id = i.item_id;",
+      "VG table 'users' takes");
+  ExpectBindError(
+      "SELECT 1 AS one INTO r;"
+      "MONTECARLO FROM users(20, 0.8, 5.0, 2.0) AS u JOIN items() AS i "
+      "ON u.user_id = i.item_id;",
+      "VG table 'items' takes");
+  // ON references an alias neither side declared.
+  ExpectBindError(
+      "SELECT 1 AS one INTO r;"
+      "MONTECARLO FROM users(20, 0.8, 5.0, 2.0) AS u JOIN items(3) AS i "
+      "ON ghost.user_id = i.item_id;",
+      "ON references unknown alias 'ghost'");
+  // Both ON sides name the same table.
+  ExpectBindError(
+      "SELECT 1 AS one INTO r;"
+      "MONTECARLO FROM users(20, 0.8, 5.0, 2.0) AS u JOIN items(3) AS i "
+      "ON u.user_id = u.signup_week;",
+      "name the same side");
+  // Unknown key column (pdb resolver text, bind-time code).
+  ExpectBindError(
+      "SELECT 1 AS one INTO r;"
+      "MONTECARLO FROM users(20, 0.8, 5.0, 2.0) AS u JOIN items(3) AS i "
+      "ON u.nope = i.item_id;",
+      "no column named 'nope'");
+  // Type-mismatched keys.
+  ExpectBindError(
+      "SELECT 1 AS one INTO r;"
+      "MONTECARLO FROM users(20, 0.8, 5.0, 2.0) AS u JOIN items(3) AS i "
+      "ON u.user_id = i.region;",
+      "have mismatched types");
+  // Self-join duplicates every output name.
+  ExpectBindError(
+      "SELECT 1 AS one INTO r;"
+      "MONTECARLO FROM users(5, 0.8, 5.0, 2.0) AS a "
+      "JOIN users(5, 0.8, 5.0, 2.0) AS b ON a.user_id = b.user_id;",
+      "duplicate column");
+  // Two sides sharing one alias can never be disambiguated.
+  ExpectBindError(
+      "SELECT 1 AS one INTO r;"
+      "MONTECARLO FROM users(5, 0.8, 5.0, 2.0) AS t JOIN items(3) AS t "
+      "ON t.user_id = t.item_id;",
+      "share the alias 't'");
 }
 
 }  // namespace
